@@ -1,0 +1,77 @@
+"""FIG1 — Figure 1: mutual exclusion reduces data dependencies.
+
+Regenerates the paper's claim table for the Figure 1 program: the number
+of definitions of ``a`` reaching each of T1's two uses, under CSSA vs
+CSSAME, and that constant propagation proves ``g(a)`` sees ``a = 3``
+only under CSSAME.
+"""
+
+from repro.cssame import build_cssame, parallel_reaching_definitions
+from repro.ir.printer import format_ir
+from repro.ir.stmts import SAssign, SCallStmt
+from repro.ir.structured import iter_statements
+from repro.opt import concurrent_constant_propagation
+
+from benchmarks.common import FIGURE1_SOURCE, print_table, program_of
+
+
+def _reaching_a_counts(prune: bool) -> tuple[int, int]:
+    """(defs of `a` reaching f(a), defs of `a` reaching g(a))."""
+    program = program_of(FIGURE1_SOURCE)
+    build_cssame(program, prune=prune)
+    info = parallel_reaching_definitions(program)
+
+    f_call = next(
+        s for s, _ in iter_statements(program)
+        if isinstance(s, SCallStmt) and s.func == "f"
+    )
+    g_holder = next(
+        s for s, _ in iter_statements(program)
+        if isinstance(s, SAssign) and s.target == "b" and s.version == 1
+    )
+
+    def count_a(stmt):
+        defs = set()
+        for use in stmt.uses():
+            for d in info.defs(use):
+                if getattr(d, "target", None) == "a" or (
+                    getattr(d, "name", None) == "a"
+                ):
+                    defs.add(d)
+        return len(defs)
+
+    return count_a(f_call), count_a(g_holder)
+
+
+def test_figure1_reaching_reduction(benchmark):
+    cssa_f, cssa_g = _reaching_a_counts(prune=False)
+    cssame_f, cssame_g = benchmark(_reaching_a_counts, True)
+
+    print_table(
+        "Figure 1: defs of 'a' reaching T1's uses",
+        ["use", "CSSA", "CSSAME"],
+        [("f(a)  (unprotected)", cssa_f, cssame_f),
+         ("g(a)  (protected)", cssa_g, cssame_g)],
+    )
+    # Paper: the protected use sees only a = 3 under CSSAME.
+    assert cssame_g == 1
+    assert cssa_g > cssame_g
+    # The unprotected use keeps its cross-thread def either way.
+    assert cssame_f == cssa_f
+
+
+def test_figure1_constant_at_g(benchmark):
+    def run(prune):
+        program = program_of(FIGURE1_SOURCE)
+        form = build_cssame(program, prune=prune)
+        concurrent_constant_propagation(program, form.graph)
+        return "g(3)" in format_ir(program)
+
+    cssame_proves = benchmark(run, True)
+    cssa_proves = run(False)
+    print_table(
+        "Figure 1: constant propagation proves g(a) == g(3)",
+        ["form", "proved"],
+        [("CSSA", cssa_proves), ("CSSAME", cssame_proves)],
+    )
+    assert cssame_proves and not cssa_proves

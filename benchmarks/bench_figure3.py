@@ -1,0 +1,28 @@
+"""FIG3 — Figure 3: CSSA form (3a) vs CSSAME form (3b).
+
+Regenerates the figure's headline numbers for the running example: five
+π terms with 11 total arguments under CSSA, one π term with 2 arguments
+under CSSAME — and times both constructions.
+"""
+
+from benchmarks.common import FIGURE2_SOURCE, form_metrics, print_table
+
+
+def test_figure3_pi_reduction(benchmark):
+    cssa = form_metrics(FIGURE2_SOURCE, prune=False)
+    cssame = benchmark(form_metrics, FIGURE2_SOURCE, True)
+
+    print_table(
+        "Figure 3: CSSA vs CSSAME on the running example",
+        ["metric", "CSSA (3a)", "CSSAME (3b)"],
+        [
+            ("pi terms", cssa["pi_terms"], cssame["pi_terms"]),
+            ("pi arguments", cssa["pi_args"], cssame["pi_args"]),
+            ("phi terms", cssa["phi_terms"], cssame["phi_terms"]),
+        ],
+    )
+    assert (cssa["pi_terms"], cssame["pi_terms"]) == (5, 1)
+    assert (cssa["pi_args"], cssame["pi_args"]) == (11, 2)
+    assert cssa["phi_terms"] == cssame["phi_terms"] == 2
+    assert cssame["pis_deleted"] == 4
+    assert cssame["args_removed"] == 5

@@ -1,0 +1,86 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures (or a sweep that
+quantifies a claim the paper makes qualitatively).  Absolute timings are
+ours; the *shape* — which form wins, by how much, where the effect grows
+— is what EXPERIMENTS.md compares against the paper.
+"""
+
+from __future__ import annotations
+
+from repro.cssame import build_cssame
+from repro.ir.lower import lower_program
+from repro.ir.structured import ProgramIR, clone_program
+from repro.lang.parser import parse
+from repro.report import measure_form
+
+FIGURE2_SOURCE = """
+a = 0;
+b = 0;
+cobegin
+T0: begin
+    lock(L);
+    a = 5;
+    b = a + 3;
+    if (b > 4) {
+        a = a + b;
+    }
+    x = a;
+    unlock(L);
+end
+T1: begin
+    lock(L);
+    a = b + 6;
+    y = a;
+    unlock(L);
+end
+coend
+print(x);
+print(y);
+"""
+
+FIGURE1_SOURCE = """
+a = 1;
+b = 2;
+cobegin
+T0: begin
+    lock(L);
+    a = a + b;
+    unlock(L);
+end
+T1: begin
+    f(a);
+    lock(L);
+    a = 3;
+    b = b + g(a);
+    unlock(L);
+end
+coend
+print(a, b);
+"""
+
+
+def program_of(source: str) -> ProgramIR:
+    return lower_program(parse(source))
+
+
+def form_metrics(source: str, prune: bool) -> dict:
+    program = program_of(source)
+    form = build_cssame(program, prune=prune)
+    metrics = measure_form(program).as_dict()
+    if form.rewrite_stats is not None:
+        metrics["args_removed"] = form.rewrite_stats.args_removed
+        metrics["pis_deleted"] = form.rewrite_stats.pis_deleted
+    return metrics
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Render a paper-style table to stdout (shown with pytest -s)."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(headers))
+    ]
+    print(f"\n== {title} ==")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

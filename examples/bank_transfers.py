@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""A realistic lock-heavy workload: concurrent bank transfers.
+
+Several teller threads transfer money between two accounts under one
+bank lock.  Each critical section also carries thread-private
+bookkeeping (fees, running totals) — exactly the lock-independent code
+the paper's LICM targets.
+
+The example shows:
+
+1. the optimizer shrinking the critical sections,
+2. the dynamic payoff measured with the VM's lock instrumentation
+   (steps the lock is held, steps tellers sit blocked),
+3. the money-conservation invariant surviving optimization.
+
+Run:  python examples/bank_transfers.py
+"""
+
+from repro.api import front_end, listing
+from repro.ir.structured import clone_program
+from repro.opt.pipeline import optimize
+from repro.report import critical_section_profile
+from repro.vm.machine import run_random
+
+
+def bank_source(n_threads: int = 3, n_transfers: int = 3) -> str:
+    lines = ["balance0 = 100;", "balance1 = 100;", "cobegin"]
+    for t in range(n_threads):
+        lines.append(f"T{t}: begin")
+        lines.append(f"    private fee = {t + 1};")
+        lines.append("    private total = 0;")
+        for k in range(n_transfers):
+            amount = (t * 7 + k * 3) % 11 + 1
+            lines += [
+                "    lock(BANK);",
+                f"    total = total + {amount};",
+                f"    fee = fee + {k};",
+                f"    balance0 = balance0 - {amount};",
+                f"    balance1 = balance1 + {amount};",
+                "    unlock(BANK);",
+            ]
+        lines.append("end")
+    lines.append("coend")
+    lines.append("print(balance0, balance1);")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    program = front_end(bank_source())
+    original = clone_program(program)
+
+    report = optimize(program, fold_output_uses=False)
+    print("optimized program:")
+    print(listing(program))
+    print(f"LICM moved {report.licm.total_moved} statements out of the "
+          f"critical sections (hoisted {report.licm.hoisted}, "
+          f"sunk {report.licm.sunk})")
+
+    before = critical_section_profile(original, seeds=range(16))
+    after = critical_section_profile(program, seeds=range(16))
+    print("\ndynamic lock profile (average per run, 16 seeds):")
+    print(f"  lock held steps:    {before['avg_lock_held_steps']:.1f} -> "
+          f"{after['avg_lock_held_steps']:.1f}")
+    print(f"  blocked steps:      {before['avg_lock_blocked_steps']:.1f} -> "
+          f"{after['avg_lock_blocked_steps']:.1f}")
+
+    print("\nmoney conservation across random schedules:")
+    for seed in range(5):
+        ex = run_random(program, seed=seed)
+        b0, b1 = ex.printed[-1]
+        status = "ok" if b0 + b1 == 200 else "VIOLATED"
+        print(f"  seed {seed}: balances {b0:4d} + {b1:4d} = {b0 + b1}  [{status}]")
+        assert b0 + b1 == 200
+
+
+if __name__ == "__main__":
+    main()

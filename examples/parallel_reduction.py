@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Section 7 extensions in action: ``doall`` + barriers.
+
+A two-phase parallel reduction:
+
+* phase 1 — a ``doall`` loop where each iteration computes a partial value
+  and publishes it under a lock;
+* a ``barrier`` separating the phases inside a cobegin (each worker must
+  see every partial before combining);
+* phase 2 — workers combine the partials.
+
+Shows the static doall expansion, the optimizer running unchanged over
+the expanded code, and the explorer proving the result is schedule
+independent.
+
+Run:  python examples/parallel_reduction.py
+"""
+
+from repro.api import front_end, listing
+from repro.opt.pipeline import optimize
+from repro.vm.explore import explore
+
+DOALL_SOURCE = """
+sum = 0;
+doall i = 1 to 4 {
+    private square = 0;
+    square = i * i;
+    lock(ACC);
+    sum = sum + square;
+    unlock(ACC);
+}
+print(sum);
+"""
+
+BARRIER_SOURCE = """
+p0 = 0; p1 = 0;
+cobegin
+W0: begin
+    p0 = 10 + 2;
+    barrier(PHASE);
+    r0 = p0 + p1;
+end
+W1: begin
+    p1 = 20 + 3;
+    barrier(PHASE);
+    r1 = p1 + p0;
+end
+coend
+print(r0, r1);
+"""
+
+
+def main() -> None:
+    print("=" * 60)
+    print("doall i = 1 to 4 — static expansion")
+    print("=" * 60)
+    program = front_end(DOALL_SOURCE)
+    print(listing(program))
+
+    result = explore(program)
+    print(f"explorer: {len(result.outcomes)} behaviour(s): "
+          f"{sorted(result.outcomes)}")
+    assert result.outcomes == {(("print", (30,)),)}  # 1+4+9+16
+
+    report = optimize(program)
+    print("\nafter optimization:")
+    print(report.listings["final"])
+    assert explore(program).outcomes == {(("print", (30,)),)}
+
+    print("=" * 60)
+    print("two-phase computation with a barrier")
+    print("=" * 60)
+    program = front_end(BARRIER_SOURCE)
+    result = explore(program)
+    print(f"explorer: {sorted(result.outcomes)}")
+    # The barrier guarantees both workers see both partials: 12+23 = 35.
+    assert result.outcomes == {(("print", (35, 35)),)}
+    print("both workers always compute 35 — the barrier makes the "
+          "cross-thread reads deterministic")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro — a full reproduction of *Concurrent SSA Form in the Presence of
+Mutual Exclusion* (Novillo, Unrau, Schaeffer — ICPP 1998).
+
+The package implements the paper's whole stack:
+
+* a small explicitly parallel language (:mod:`repro.lang`),
+* the Parallel Flow Graph (:mod:`repro.cfg`),
+* sequential SSA with factored use-def chains (:mod:`repro.ssa`),
+* CSSA π terms (:mod:`repro.cssa`),
+* mutex structures — Algorithm A.1 (:mod:`repro.mutex`),
+* the CSSAME form — Theorems 1–2, Algorithms A.2–A.4
+  (:mod:`repro.cssame`),
+* optimizations: concurrent constant propagation, parallel dead-code
+  elimination and lock-independent code motion (:mod:`repro.opt`),
+* an interleaving virtual machine with a random scheduler and an
+  exhaustive schedule explorer (:mod:`repro.vm`),
+* semantic-equivalence checkers (:mod:`repro.verify`) and a random
+  program generator (:mod:`repro.synth`).
+
+Quickstart::
+
+    from repro import api
+    result = api.optimize_source(source_text)
+    print(result.listing())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["api", "__version__"]

@@ -1,0 +1,81 @@
+"""High-level one-call API.
+
+These helpers wire the whole stack together for the common journeys:
+
+* :func:`front_end` — source text → structured IR;
+* :func:`analyze_source` — source → CSSAME (or plain CSSA) form;
+* :func:`optimize_source` — source → optimized program + report;
+* :func:`diagnose_source` — source → Section 6 warnings and race
+  reports;
+* :func:`pfg_dot` — source → DOT rendering of the PFG.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.dot import to_dot
+from repro.cssame.builder import CSSAMEForm, build_cssame
+from repro.ir.lower import lower_program
+from repro.ir.printer import format_ir
+from repro.ir.structured import ProgramIR
+from repro.lang.parser import parse
+from repro.mutex.deadlock import DeadlockRisk, detect_lock_order_cycles
+from repro.mutex.races import RaceReport, detect_races
+from repro.mutex.warnings import SyncWarning, check_synchronization
+from repro.opt.pipeline import OptimizationReport, optimize
+
+__all__ = [
+    "analyze_source",
+    "diagnose_source",
+    "front_end",
+    "optimize_source",
+    "pfg_dot",
+]
+
+
+def front_end(source: str) -> ProgramIR:
+    """Parse and lower ``source`` to structured IR."""
+    return lower_program(parse(source))
+
+
+def analyze_source(source: str, prune: bool = True) -> CSSAMEForm:
+    """Build the CSSAME form (``prune=False`` → plain CSSA) of ``source``."""
+    return build_cssame(front_end(source), prune=prune)
+
+
+def optimize_source(
+    source: str,
+    passes: tuple[str, ...] = ("constprop", "pdce", "licm"),
+    use_mutex: bool = True,
+    fold_output_uses: bool = True,
+) -> OptimizationReport:
+    """Run the paper's optimization pipeline on ``source``."""
+    program = front_end(source)
+    return optimize(
+        program,
+        passes=passes,
+        use_mutex=use_mutex,
+        fold_output_uses=fold_output_uses,
+    )
+
+
+def diagnose_source(source: str) -> tuple[list[SyncWarning], list[RaceReport]]:
+    """Section 6 diagnostics: sync-structure warnings (including static
+    lock-order deadlock risks) + potential data races."""
+    form = analyze_source(source, prune=False)
+    warnings = check_synchronization(form.graph, form.structures)
+    for risk in detect_lock_order_cycles(form.graph, form.structures):
+        blocks = tuple(b for bs in risk.witnesses.values() for b in bs)
+        warnings.append(SyncWarning("deadlock-risk", risk.message(), blocks))
+    races = detect_races(form.graph, form.structures)
+    return warnings, races
+
+
+def pfg_dot(source: str, title: str = "PFG") -> str:
+    """DOT rendering of the PFG (CSSAME form) of ``source``."""
+    form = analyze_source(source)
+    return to_dot(form.graph, title=title)
+
+
+def listing(program: ProgramIR) -> str:
+    """Source-like listing of a program in any form."""
+    return format_ir(program)

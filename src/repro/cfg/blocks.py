@@ -1,0 +1,117 @@
+"""Parallel basic blocks — the nodes of the PFG."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.ir.stmts import IRStmt, Phi
+
+__all__ = ["BasicBlock", "NodeKind", "PhiAnchor"]
+
+
+class NodeKind(enum.Enum):
+    """What a PFG node represents.
+
+    Per paper Definition 1, ``Lock`` and ``Unlock`` operations get their
+    own nodes; we give ``set``/``wait`` their own nodes too so directed
+    synchronization edges have precise endpoints.
+    """
+
+    ENTRY = "entry"
+    EXIT = "exit"
+    BLOCK = "block"
+    COBEGIN = "cobegin"
+    COEND = "coend"
+    LOCK = "lock"
+    UNLOCK = "unlock"
+    SET = "set"
+    WAIT = "wait"
+    BARRIER = "barrier"
+
+
+class PhiAnchor:
+    """Where φ terms of a join block materialize in the structured tree.
+
+    ``kind`` is ``"after"`` (insert after ``region`` in ``body`` — used
+    for if-joins and coend nodes) or ``"header"`` (append to
+    ``region.header_phis`` — used for loop headers).
+    """
+
+    __slots__ = ("kind", "body", "region")
+
+    def __init__(self, kind: str, body: object, region: object) -> None:
+        self.kind = kind
+        self.body = body
+        self.region = region
+
+
+class BasicBlock:
+    """A node of the PFG.
+
+    Attributes
+    ----------
+    id:
+        Dense integer id, index into the graph's block table.
+    kind:
+        The :class:`NodeKind`.
+    stmts:
+        Statements in execution order.  A branch (:class:`SBranch`) can
+        only be the final statement.  LOCK/UNLOCK/SET/WAIT nodes hold
+        exactly their one synchronization statement.
+    phis:
+        φ terms at the head of the block (conceptually executed before
+        ``stmts``).
+    preds / succs:
+        Control-flow neighbours (block ids).  For a block ending in a
+        branch, ``succs[0]`` is the true edge and ``succs[1]`` the false
+        edge.
+    thread_path:
+        Tuple of ``(cobegin_uid, thread_index)`` pairs recording which
+        cobegin branches enclose this node; the basis of the
+        may-happen-in-parallel relation.
+    phi_anchor:
+        For join blocks, where φs materialize structurally.
+    """
+
+    __slots__ = (
+        "id",
+        "kind",
+        "stmts",
+        "phis",
+        "preds",
+        "succs",
+        "thread_path",
+        "phi_anchor",
+    )
+
+    def __init__(
+        self,
+        block_id: int,
+        kind: NodeKind,
+        thread_path: tuple = (),
+    ) -> None:
+        self.id = block_id
+        self.kind = kind
+        self.stmts: list[IRStmt] = []
+        self.phis: list[Phi] = []
+        self.preds: list[int] = []
+        self.succs: list[int] = []
+        self.thread_path = thread_path
+        self.phi_anchor: Optional[PhiAnchor] = None
+
+    @property
+    def thread_map(self) -> dict:
+        """``thread_path`` as a dict cobegin_uid → thread index."""
+        return dict(self.thread_path)
+
+    def label(self) -> str:
+        """Short human-readable label for graph dumps."""
+        if self.kind is NodeKind.BLOCK:
+            if not self.stmts:
+                return f"B{self.id} (empty)"
+            return f"B{self.id}"
+        return f"B{self.id} [{self.kind.value}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BasicBlock {self.label()} stmts={len(self.stmts)}>"

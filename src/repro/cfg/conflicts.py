@@ -1,0 +1,217 @@
+"""Shared-variable detection and the non-control PFG edge sets.
+
+*Access sites* are statement-position-precise records of every variable
+definition and use in the graph.  From them we derive:
+
+* the set of **shared variables** — accessed by two MHP sites, at least
+  one a write;
+* **conflict edges** (def→use ``DU`` and write-write ``DD``) between
+  concurrent blocks, as drawn in the paper's Figure 2;
+* **mutex edges** between ``Lock``/``Unlock`` nodes of the same lock in
+  concurrent threads;
+* **directed sync edges** from ``set(e)`` to ``wait(e)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cfg.blocks import NodeKind
+from repro.cfg.concurrency import may_happen_in_parallel
+from repro.cfg.graph import ConflictEdge, FlowGraph, MutexEdge, SyncEdge
+from repro.ir.expr import EVar
+from repro.ir.stmts import IRStmt, Phi, Pi, SAssign
+
+__all__ = [
+    "AccessSite",
+    "add_conflict_edges",
+    "add_mutex_edges",
+    "add_sync_edges",
+    "collect_access_sites",
+    "is_memory_access",
+    "shared_variables",
+]
+
+
+def is_memory_access(site: "AccessSite") -> bool:
+    """True when the site is a *runtime* memory operation.
+
+    φ terms and π conflict arguments are SSA bookkeeping: they read and
+    write nothing when the program runs.  A π's control argument stands
+    for the original (rewritten) read, in the same block.  Filtering
+    matters both for precision (no phantom unprotected reads at join
+    blocks) and for cost: π conflict arguments grow quadratically with
+    the def count, and conflict-edge computation is a def × access
+    product.
+    """
+    stmt = site.stmt
+    if isinstance(stmt, Phi):
+        return False
+    if isinstance(stmt, Pi):
+        if site.is_def:
+            return False  # π temporaries are thread-local
+        return site.evar is stmt.control
+    return True
+
+
+class AccessSite:
+    """One definition or use of a variable at a precise position.
+
+    ``index`` is the statement's position within its block; φ terms have
+    negative indices so they order before ordinary statements.
+    ``is_real_def`` distinguishes genuine assignments from φ/π defs —
+    π conflict arguments and the theorems of Section 4 only consider
+    real definitions.
+    """
+
+    __slots__ = ("var", "block_id", "index", "stmt", "is_def", "is_real_def", "evar")
+
+    def __init__(
+        self,
+        var: str,
+        block_id: int,
+        index: int,
+        stmt: IRStmt,
+        is_def: bool,
+        is_real_def: bool,
+        evar: Optional[EVar],
+    ) -> None:
+        self.var = var
+        self.block_id = block_id
+        self.index = index
+        self.stmt = stmt
+        self.is_def = is_def
+        self.is_real_def = is_real_def
+        self.evar = evar
+
+    def __repr__(self) -> str:  # pragma: no cover
+        role = "def" if self.is_def else "use"
+        return f"AccessSite({self.var}, B{self.block_id}@{self.index}, {role})"
+
+
+def collect_access_sites(graph: FlowGraph) -> dict[str, list[AccessSite]]:
+    """Every access site in the graph, grouped by base variable name."""
+    sites: dict[str, list[AccessSite]] = {}
+
+    def add(site: AccessSite) -> None:
+        sites.setdefault(site.var, []).append(site)
+
+    for block in graph.blocks:
+        nphis = len(block.phis)
+        for i, phi in enumerate(block.phis):
+            index = i - nphis
+            add(AccessSite(phi.target, block.id, index, phi, True, False, None))
+            for arg in phi.args:
+                add(AccessSite(arg.var.name, block.id, index, phi, False, False, arg.var))
+        for i, stmt in enumerate(block.stmts):
+            target = stmt.def_name()
+            if target is not None:
+                is_real = isinstance(stmt, SAssign)
+                add(AccessSite(target, block.id, i, stmt, True, is_real, None))
+            for var in stmt.uses():
+                add(AccessSite(var.name, block.id, i, stmt, False, False, var))
+    return sites
+
+
+def shared_variables(
+    graph: FlowGraph,
+    sites: Optional[dict[str, list[AccessSite]]] = None,
+) -> set[str]:
+    """Variables with two MHP accesses, at least one of them a write."""
+    if sites is None:
+        sites = collect_access_sites(graph)
+    shared: set[str] = set()
+    for var, all_accesses in sites.items():
+        def_blocks: set[int] = set()
+        access_blocks: set[int] = set()
+        for s in all_accesses:
+            if not is_memory_access(s):
+                continue
+            if s.is_real_def:
+                def_blocks.add(s.block_id)
+            access_blocks.add(s.block_id)
+        if not def_blocks:
+            continue
+        found = False
+        for d_id in def_blocks:
+            d_block = graph.blocks[d_id]
+            for a_id in access_blocks:
+                if may_happen_in_parallel(d_block, graph.blocks[a_id]):
+                    found = True
+                    break
+            if found:
+                break
+        if found:
+            shared.add(var)
+    return shared
+
+
+def add_conflict_edges(
+    graph: FlowGraph,
+    sites: Optional[dict[str, list[AccessSite]]] = None,
+) -> list[ConflictEdge]:
+    """Populate ``graph.conflict_edges`` (block granularity, deduped)."""
+    if sites is None:
+        sites = collect_access_sites(graph)
+    edges: list[ConflictEdge] = []
+    for var, all_accesses in sites.items():
+        # Edges are block-granular, so collapse sites to block-id sets
+        # first — the def × access product is then bounded by the block
+        # count, not the (much larger) site count.
+        def_blocks: set[int] = set()
+        use_blocks: set[int] = set()
+        for s in all_accesses:
+            if not is_memory_access(s):
+                continue
+            if s.is_real_def:
+                def_blocks.add(s.block_id)
+            elif not s.is_def:
+                use_blocks.add(s.block_id)
+        if not def_blocks:
+            continue
+        for d_id in sorted(def_blocks):
+            d_block = graph.blocks[d_id]
+            for u_id in sorted(use_blocks):
+                if may_happen_in_parallel(d_block, graph.blocks[u_id]):
+                    edges.append(ConflictEdge(d_id, u_id, var, "DU"))
+            for d2_id in sorted(def_blocks):
+                if d2_id <= d_id:
+                    continue  # emit write-write pairs once
+                if may_happen_in_parallel(d_block, graph.blocks[d2_id]):
+                    edges.append(ConflictEdge(d_id, d2_id, var, "DD"))
+    graph.conflict_edges = edges
+    return graph.conflict_edges
+
+
+def add_mutex_edges(graph: FlowGraph) -> list[MutexEdge]:
+    """Undirected mutex edges between concurrent Lock/Unlock nodes that
+    operate on the same lock variable (paper Definition 1)."""
+    locks = graph.nodes_of_kind(NodeKind.LOCK)
+    unlocks = graph.nodes_of_kind(NodeKind.UNLOCK)
+    edges: list[MutexEdge] = []
+    for ln in locks:
+        lock_name = ln.stmts[0].lock_name  # type: ignore[attr-defined]
+        for un in unlocks:
+            if un.stmts[0].lock_name != lock_name:  # type: ignore[attr-defined]
+                continue
+            if may_happen_in_parallel(ln, un):
+                edges.append(MutexEdge(ln.id, un.id, lock_name))
+    graph.mutex_edges = edges
+    return edges
+
+
+def add_sync_edges(graph: FlowGraph) -> list[SyncEdge]:
+    """Directed sync edges from every ``set(e)`` to every concurrent
+    ``wait(e)``."""
+    sets = graph.nodes_of_kind(NodeKind.SET)
+    waits = graph.nodes_of_kind(NodeKind.WAIT)
+    edges: list[SyncEdge] = []
+    for sn in sets:
+        event = sn.stmts[0].event_name  # type: ignore[attr-defined]
+        for wn in waits:
+            if wn.stmts[0].event_name != event:  # type: ignore[attr-defined]
+                continue
+            if may_happen_in_parallel(sn, wn):
+                edges.append(SyncEdge(sn.id, wn.id, event))
+    graph.sync_edges = edges
+    return edges

@@ -1,0 +1,82 @@
+"""DOT (Graphviz) export of Parallel Flow Graphs.
+
+The paper rendered PFGs with the VCG tool; DOT is today's equivalent.
+Edge styling follows Figure 2's legend: solid = control flow, dashed =
+conflict edges (labelled with the variable and D/U roles), dotted =
+mutex synchronization edges, bold = directed sync edges.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.blocks import NodeKind
+from repro.cfg.graph import FlowGraph
+
+__all__ = ["to_dot"]
+
+_SHAPES = {
+    NodeKind.ENTRY: "oval",
+    NodeKind.EXIT: "oval",
+    NodeKind.COBEGIN: "trapezium",
+    NodeKind.COEND: "invtrapezium",
+    NodeKind.LOCK: "hexagon",
+    NodeKind.UNLOCK: "hexagon",
+    NodeKind.SET: "diamond",
+    NodeKind.WAIT: "diamond",
+    NodeKind.BARRIER: "doubleoctagon",
+    NodeKind.BLOCK: "box",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\l")
+
+
+def _node_body(graph: FlowGraph, block_id: int) -> str:
+    block = graph.blocks[block_id]
+    if block.kind is NodeKind.ENTRY:
+        return "ENTRY"
+    if block.kind is NodeKind.EXIT:
+        return "EXIT"
+    if block.kind is NodeKind.COBEGIN:
+        return "cobegin"
+    if block.kind is NodeKind.COEND:
+        return "coend"
+    lines = [f"B{block.id}"]
+    for phi in block.phis:
+        lines.append(phi.to_str())
+    for stmt in block.stmts:
+        lines.append(stmt.to_str())
+    return "\\l".join(_escape(line) for line in lines) + "\\l"
+
+
+def to_dot(graph: FlowGraph, title: str = "PFG") -> str:
+    """Render the PFG as a DOT digraph string."""
+    out = [f'digraph "{_escape(title)}" {{']
+    out.append("  node [fontname=monospace fontsize=10];")
+    out.append(f'  label="{_escape(title)}";')
+    for block in graph.blocks:
+        shape = _SHAPES[block.kind]
+        out.append(f'  n{block.id} [shape={shape} label="{_node_body(graph, block.id)}"];')
+    for block in graph.blocks:
+        for succ in block.succs:
+            out.append(f"  n{block.id} -> n{succ};")
+    for edge in graph.conflict_edges:
+        label = f"{edge.var} ({edge.kind})"
+        out.append(
+            f'  n{edge.src_block} -> n{edge.dst_block} '
+            f'[style=dashed color=red constraint=false label="{_escape(label)}"];'
+        )
+    for medge in graph.mutex_edges:
+        out.append(
+            f"  n{medge.lock_block} -> n{medge.unlock_block} "
+            f'[style=dotted dir=none color=blue constraint=false '
+            f'label="{_escape(medge.lock_name)}"];'
+        )
+    for sedge in graph.sync_edges:
+        out.append(
+            f"  n{sedge.set_block} -> n{sedge.wait_block} "
+            f'[style=bold color=darkgreen constraint=false '
+            f'label="{_escape(sedge.event_name)}"];'
+        )
+    out.append("}")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,240 @@
+"""Command-line driver: ``python -m repro <command> <file>``.
+
+Commands
+--------
+
+``analyze``   build the CSSAME (or, with ``--cssa``, plain CSSA) form
+              and print the annotated listing plus form statistics.
+``optimize``  run the Section 5 pipeline and print the optimized
+              program (``--phases`` shows every intermediate listing).
+``diagnose``  print Section 6 warnings and potential data races.
+``run``       execute under the interleaving VM (``--seed``).
+``explore``   enumerate every schedule and print the outcome set.
+``dot``       print a Graphviz rendering of the PFG.
+
+All commands read the program from a file argument or, with ``-``,
+from stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.api import analyze_source, diagnose_source, front_end, pfg_dot
+from repro.errors import ReproError
+from repro.ir.printer import format_ir
+from repro.opt.pipeline import optimize
+from repro.report import measure_form
+from repro.vm.explore import explore
+from repro.vm.machine import run_random
+
+__all__ = ["main"]
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
+    form = analyze_source(source, prune=not args.cssa)
+    print(format_ir(form.program), end="")
+    metrics = measure_form(form.program)
+    print(f"// form: {'CSSA' if args.cssa else 'CSSAME'}")
+    print(f"// pi terms: {metrics.pi_terms} ({metrics.pi_args} arguments)")
+    print(f"// phi terms: {metrics.phi_terms}")
+    if form.rewrite_stats is not None:
+        s = form.rewrite_stats
+        print(
+            f"// A.3 removed {s.args_removed} conflict argument(s), "
+            f"deleted {s.pis_deleted} pi term(s)"
+        )
+    bodies = form.mutex_bodies()
+    print(f"// mutex bodies: {len(bodies)}")
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    program = front_end(_read_source(args.file))
+    report = optimize(
+        program,
+        use_mutex=not args.cssa,
+        fold_output_uses=not args.keep_prints,
+    )
+    if args.phases:
+        for phase in ("cssa", "cssame", "constprop", "pdce", "licm"):
+            if phase in report.listings:
+                print(f"// ---- after {phase} ----")
+                print(report.listings[phase], end="")
+    print(report.listings["final"], end="")
+    print(f"// constants: {len(report.constprop.constants)}, "
+          f"removed: {report.pdce.total_removed}, "
+          f"moved: {report.licm.total_moved}")
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    warnings, races = diagnose_source(_read_source(args.file))
+    for w in warnings:
+        print(f"warning [{w.kind}]: {w.message}")
+    for r in races:
+        print(f"race: {r.message()}")
+    if not warnings and not races:
+        print("no synchronization problems found")
+        return 0
+    return 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = front_end(_read_source(args.file))
+    if args.optimize:
+        optimize(program)
+    execution = run_random(
+        program, seed=args.seed, fuel=args.fuel, raise_on_deadlock=False
+    )
+    for event in execution.events:
+        if event[0] == "print":
+            print(" ".join(str(v) for v in event[1]))
+        else:
+            print(f"call {event[1]}({', '.join(str(v) for v in event[2])})")
+    if execution.deadlocked:
+        print("DEADLOCK", file=sys.stderr)
+        return 2
+    if args.stats:
+        print(f"// steps: {execution.steps}", file=sys.stderr)
+        for lock, held in sorted(execution.lock_held_steps.items()):
+            print(f"// lock {lock}: held {held} steps", file=sys.stderr)
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    program = front_end(_read_source(args.file))
+    if args.optimize:
+        optimize(program)
+    result = explore(program, max_states=args.max_states)
+    for outcome in sorted(result.outcomes):
+        rendered = []
+        for event in outcome:
+            if event[0] == "print":
+                rendered.append("print " + " ".join(str(v) for v in event[1]))
+            elif event[0] == "call":
+                rendered.append(f"call {event[1]}")
+            else:
+                rendered.append(event[0].upper())
+        print(" | ".join(rendered) if rendered else "(no output)")
+    print(
+        f"// {len(result.outcomes)} behaviour(s), {result.states} states"
+        f"{'' if result.complete else ' (TRUNCATED)'}"
+    )
+    if result.can_deadlock:
+        print("// some schedules DEADLOCK")
+        return 2
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    print(pfg_dot(_read_source(args.file), title=args.file), end="")
+    return 0
+
+
+def _cmd_witness(args: argparse.Namespace) -> int:
+    """Find and replay a schedule printing the requested values."""
+    from repro.vm.explore import find_witness
+    from repro.vm.machine import VirtualMachine
+
+    program = front_end(_read_source(args.file))
+    if args.deadlock:
+        outcome: tuple = (("deadlock",),)
+    else:
+        values = tuple(int(v) for v in args.values)
+        outcome = (("print", values),)
+    schedule = find_witness(program, outcome, max_states=args.max_states)
+    if schedule is None:
+        print("no schedule produces that outcome", file=sys.stderr)
+        return 1
+    print("schedule (thread ids in step order):")
+    print("  " + " ".join("main" if t == () else ".".join(map(str, t)) for t in schedule))
+    execution = VirtualMachine(front_end(_read_source(args.file))).replay(schedule)
+    print(f"replayed: events={execution.events} deadlocked={execution.deadlocked}")
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CSSAME compiler driver (ICPP'98 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="print the CSSAME/CSSA form")
+    p.add_argument("file")
+    p.add_argument("--cssa", action="store_true", help="skip Algorithm A.3")
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("optimize", help="run the optimization pipeline")
+    p.add_argument("file")
+    p.add_argument("--cssa", action="store_true", help="use plain CSSA")
+    p.add_argument(
+        "--phases", action="store_true", help="show every phase listing"
+    )
+    p.add_argument(
+        "--keep-prints", action="store_true",
+        help="leave print arguments symbolic (paper-figure style)",
+    )
+    p.set_defaults(func=_cmd_optimize)
+
+    p = sub.add_parser("diagnose", help="Section 6 warnings and races")
+    p.add_argument("file")
+    p.set_defaults(func=_cmd_diagnose)
+
+    p = sub.add_parser("run", help="execute under the interleaving VM")
+    p.add_argument("file")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--fuel", type=int, default=1_000_000)
+    p.add_argument("--optimize", action="store_true")
+    p.add_argument("--stats", action="store_true")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("explore", help="enumerate every schedule")
+    p.add_argument("file")
+    p.add_argument("--max-states", type=int, default=200_000)
+    p.add_argument("--optimize", action="store_true")
+    p.set_defaults(func=_cmd_explore)
+
+    p = sub.add_parser("dot", help="Graphviz rendering of the PFG")
+    p.add_argument("file")
+    p.set_defaults(func=_cmd_dot)
+
+    p = sub.add_parser(
+        "witness",
+        help="find a schedule that prints the given values (or deadlocks)",
+    )
+    p.add_argument("file")
+    p.add_argument("values", nargs="*", help="expected single print's values")
+    p.add_argument("--deadlock", action="store_true",
+                   help="find a deadlocking schedule instead")
+    p.add_argument("--max-states", type=int, default=200_000)
+    p.set_defaults(func=_cmd_witness)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

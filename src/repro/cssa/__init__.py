@@ -1,0 +1,16 @@
+"""Concurrent SSA (CSSA) — the Lee/Midkiff/Padua substrate.
+
+CSSA = sequential SSA over the PFG **plus π terms**: before every use of
+a shared variable that has concurrent reaching definitions, a π term
+merges the sequentially reaching name (the control argument) with every
+definition made by concurrent threads (the conflict arguments).
+
+This package implements π placement; the paper's CSSAME extension that
+*removes* π arguments using mutual exclusion lives in
+:mod:`repro.cssame`.
+"""
+
+from repro.cssa.pi import place_pi_terms
+from repro.cssa.builder import CSSAForm, build_cssa
+
+__all__ = ["CSSAForm", "build_cssa", "place_pi_terms"]

@@ -1,0 +1,75 @@
+"""CSSA construction driver.
+
+``build_cssa`` performs the substrate part of the paper's Algorithm A.2:
+build the PFG, compute sequential SSA (with coend trimming), place π
+terms, and attach the non-control PFG edge sets.  The full CSSAME
+pipeline (which additionally identifies mutex structures and rewrites π
+terms) is :func:`repro.cssame.builder.build_cssame`.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.builder import build_flow_graph
+from repro.cfg.conflicts import (
+    add_conflict_edges,
+    add_mutex_edges,
+    add_sync_edges,
+    collect_access_sites,
+    shared_variables,
+)
+from repro.cfg.graph import FlowGraph
+from repro.cssa.pi import place_pi_terms
+from repro.ir.stmts import Pi
+from repro.ir.structured import ProgramIR
+from repro.ssa.construct import SSAContext, build_ssa
+
+__all__ = ["CSSAForm", "build_cssa"]
+
+
+class CSSAForm:
+    """The result of CSSA construction.
+
+    Attributes
+    ----------
+    program:
+        The program, now in CSSA form (φ and π terms materialized).
+    graph:
+        The PFG the form was built on, with conflict/mutex/sync edges.
+    ssa:
+        The :class:`~repro.ssa.construct.SSAContext` (dominator tree,
+        entry defs, version counters).
+    pis:
+        All π terms placed.
+    shared:
+        The shared-variable set used for placement.
+    """
+
+    def __init__(
+        self,
+        program: ProgramIR,
+        graph: FlowGraph,
+        ssa: SSAContext,
+        pis: list[Pi],
+        shared: set[str],
+    ) -> None:
+        self.program = program
+        self.graph = graph
+        self.ssa = ssa
+        self.pis = pis
+        self.shared = shared
+
+    def live_pis(self) -> list[Pi]:
+        """π terms still attached to the tree (some passes delete πs)."""
+        return [pi for pi in self.pis if pi.parent is not None]
+
+
+def build_cssa(program: ProgramIR) -> CSSAForm:
+    """Convert a non-SSA ``program`` (in place) to CSSA form."""
+    graph = build_flow_graph(program)
+    ssa = build_ssa(program, graph)
+    shared = shared_variables(graph, collect_access_sites(graph))
+    pis = place_pi_terms(program, graph)
+    add_conflict_edges(graph)
+    add_mutex_edges(graph)
+    add_sync_edges(graph)
+    return CSSAForm(program, graph, ssa, pis, shared)

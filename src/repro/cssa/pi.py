@@ -1,0 +1,139 @@
+"""π-term placement (CSSA, paper Section 4).
+
+For every statement that uses a shared variable ``v`` while concurrent
+threads contain definitions of ``v`` that may reach it, a π term
+
+    ``t = π(v_ctrl, v_d1, ..., v_dn)``
+
+is inserted immediately before the statement and the statement's uses of
+``v`` are rewritten to ``t``.  The control argument is the use's FUD
+chain; the conflict arguments are the SSA names of every *real*
+definition of ``v`` in blocks that may happen in parallel (φ/π defs are
+excluded, matching Figure 3a where ``ta4 = π(a4, a1, a2)`` lists the two
+real defs of ``a`` in T0 but not the φ ``a3``).
+
+π terms are *not* placed on φ arguments: the coend φ already merges
+thread-exit values, and a π there would be redundant with the πs
+protecting the underlying uses.
+
+Temporaries are named ``t`` + the control argument's SSA name (``ta1``
+for a π whose control argument is ``a1``), uniquified by suffixing a
+counter — the same convention visible in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.concurrency import may_happen_in_parallel
+from repro.cfg.conflicts import collect_access_sites, shared_variables
+from repro.cfg.graph import FlowGraph
+from repro.errors import SSAError
+from repro.ir.expr import EVar
+from repro.ir.stmts import IRStmt, Phi, Pi, SAssign, SBranch
+from repro.ir.structured import (
+    Body,
+    IfRegion,
+    ProgramIR,
+    WhileRegion,
+)
+
+__all__ = ["place_pi_terms"]
+
+
+def _structural_insert_before(stmt: IRStmt, pi: Pi) -> None:
+    """Insert ``pi`` immediately before ``stmt`` in the structured tree."""
+    parent = stmt.parent
+    if isinstance(parent, Body):
+        parent.insert_before(stmt, pi)
+        return
+    if isinstance(parent, IfRegion):
+        # stmt is the branch condition: the π evaluates just before the
+        # region in the enclosing body.
+        parent.parent.insert_before(parent, pi)
+        return
+    if isinstance(parent, WhileRegion):
+        if stmt is parent.branch:
+            # Loop condition: π must re-evaluate every iteration, so it
+            # joins the loop-header terms (after any φs already there).
+            parent.add_header_stmt(pi)
+            return
+        # stmt is itself a loop-header term: insert before it.
+        for i, header in enumerate(parent.header_phis):
+            if header is stmt:
+                pi.parent = parent
+                parent.header_phis.insert(i, pi)
+                return
+    raise SSAError(f"cannot find structural position of {stmt!r}")
+
+
+def place_pi_terms(program: ProgramIR, graph: FlowGraph) -> list[Pi]:
+    """Insert π terms for every conflicting use; returns them."""
+    sites = collect_access_sites(graph)
+    shared = shared_variables(graph, sites)
+
+    # Real definitions of each shared variable, in deterministic order.
+    real_defs: dict[str, list] = {}
+    for var in shared:
+        defs = [s for s in sites.get(var, []) if s.is_real_def]
+        defs.sort(key=lambda s: (s.block_id, s.index))
+        real_defs[var] = defs
+
+    pis: list[Pi] = []
+    # (block_id, position, stmt) for every candidate statement, walking
+    # blocks so positions come from the graph.
+    pending: list[tuple[IRStmt, int, dict[str, list[EVar]]]] = []
+    for block in graph.blocks:
+        for stmt in block.stmts:
+            if isinstance(stmt, (Phi, Pi)):
+                continue
+            groups: dict[str, list[EVar]] = {}
+            for use in stmt.uses():
+                if use.name in shared:
+                    groups.setdefault(use.name, []).append(use)
+            if groups:
+                pending.append((stmt, block.id, groups))
+
+    insertions: dict[int, list[tuple[IRStmt, Pi]]] = {}
+    for stmt, block_id, groups in pending:
+        block = graph.blocks[block_id]
+        for var in sorted(groups):
+            uses = groups[var]
+            conflict_defs = [
+                d
+                for d in real_defs[var]
+                if may_happen_in_parallel(block, graph.blocks[d.block_id])
+            ]
+            if not conflict_defs:
+                continue
+            first = uses[0]
+            control = EVar(first.name, first.version, first.def_site)
+            conflicts = []
+            seen = set()
+            for d in conflict_defs:
+                assert isinstance(d.stmt, SAssign)
+                if id(d.stmt) in seen:
+                    continue
+                seen.add(id(d.stmt))
+                conflicts.append(EVar(var, d.stmt.version, d.stmt))
+            temp = program.fresh_name(f"t{control.ssa_name}")
+            pi = Pi(temp, var, control, conflicts)
+            # Rewrite the statement's uses of var to the π temporary.
+            for use in uses:
+                use.name = temp
+                use.version = None
+                use.def_site = pi
+            insertions.setdefault(block_id, []).append((stmt, pi))
+            _structural_insert_before(stmt, pi)
+            pis.append(pi)
+
+    # Mirror the insertions into the graph blocks.
+    for block_id, pairs in insertions.items():
+        block = graph.blocks[block_id]
+        for stmt, pi in pairs:
+            for i, existing in enumerate(block.stmts):
+                if existing is stmt:
+                    block.stmts.insert(i, pi)
+                    break
+            else:  # pragma: no cover - defensive
+                raise SSAError(f"statement {stmt!r} not found in its block")
+    graph.reindex_statements()
+    return pis

@@ -1,0 +1,32 @@
+"""CSSAME — Concurrent SSA with Mutual Exclusion (the paper's core).
+
+* :mod:`repro.cssame.exposure` — the two path analyses behind Theorems
+  1 and 2: *upward exposure* of a use from its mutex body, and whether a
+  definition *reaches the exit* (Unlock node) of its body.
+* :mod:`repro.cssame.rewrite` — Algorithm A.3: remove π conflict
+  arguments proven unreachable; delete π terms reduced to their control
+  argument.
+* :mod:`repro.cssame.builder` — Algorithm A.2: the full
+  program → CSSAME pipeline.
+* :mod:`repro.cssame.reaching` — Algorithm A.4: parallel reaching
+  definitions / reached uses through φ and π terms.
+"""
+
+from repro.cssame.exposure import BodyDataflow
+from repro.cssame.ordering import EventOrdering, OrderingStats, prune_pi_terms_by_ordering
+from repro.cssame.rewrite import RewriteStats, rewrite_pi_terms
+from repro.cssame.builder import CSSAMEForm, build_cssame
+from repro.cssame.reaching import ReachingInfo, parallel_reaching_definitions
+
+__all__ = [
+    "BodyDataflow",
+    "CSSAMEForm",
+    "EventOrdering",
+    "OrderingStats",
+    "ReachingInfo",
+    "RewriteStats",
+    "build_cssame",
+    "parallel_reaching_definitions",
+    "prune_pi_terms_by_ordering",
+    "rewrite_pi_terms",
+]

@@ -1,0 +1,132 @@
+"""Intra-mutex-body path analyses for Theorems 1 and 2.
+
+Both theorems reason about def-free control paths *inside one mutex
+body*:
+
+* **Theorem 2** needs to know whether a use of ``v`` is *upward-exposed*
+  from its body ``B_L(n, x)`` — is there a control path from the Lock
+  node ``n`` to the use along which ``v`` is never defined?  If not,
+  every execution of the body overwrites ``v`` before the use, so no
+  definition from another body of the same structure can reach it.
+* **Theorem 1** needs to know whether a definition of ``v`` *reaches the
+  exit node* ``x`` of its body — is there a control path from the
+  definition to the Unlock along which ``v`` is not redefined?  If not,
+  the definition is always killed inside the body and can never be seen
+  by any other body of the same structure.
+
+Only *real* definitions (plain assignments) generate or kill values; φ
+and π terms are bookkeeping.  Positions are statement-precise within
+blocks.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import FlowGraph
+from repro.ir.stmts import SAssign
+from repro.mutex.structures import MutexBody
+
+__all__ = ["BodyDataflow"]
+
+
+class BodyDataflow:
+    """Cached def-free reachability queries for one mutex body."""
+
+    def __init__(self, graph: FlowGraph, body: MutexBody) -> None:
+        self.graph = graph
+        self.body = body
+        self._defs_in_block: dict[int, dict[str, list[int]]] = {}
+        self._entry_reach: dict[str, frozenset[int]] = {}
+        self._exit_reach: dict[str, frozenset[int]] = {}
+
+    # -- per-block def positions ------------------------------------------
+
+    def _block_defs(self, block_id: int) -> dict[str, list[int]]:
+        cached = self._defs_in_block.get(block_id)
+        if cached is not None:
+            return cached
+        positions: dict[str, list[int]] = {}
+        for index, stmt in enumerate(self.graph.blocks[block_id].stmts):
+            if isinstance(stmt, SAssign):
+                positions.setdefault(stmt.target, []).append(index)
+        self._defs_in_block[block_id] = positions
+        return positions
+
+    def _block_has_def(self, block_id: int, var: str) -> bool:
+        return bool(self._block_defs(block_id).get(var))
+
+    # -- Theorem 2: upward exposure ----------------------------------------
+
+    def _entry_reachable(self, var: str) -> frozenset[int]:
+        """Blocks of the body whose *start* is reachable from the Lock
+        node along a path with no definition of ``var``."""
+        cached = self._entry_reach.get(var)
+        if cached is not None:
+            return cached
+        nodes = self.body.nodes
+        reach: set[int] = set()
+        worklist = [
+            succ
+            for succ in self.graph.blocks[self.body.lock_node].succs
+            if succ in nodes
+        ]
+        for block_id in worklist:
+            reach.add(block_id)
+        while worklist:
+            block_id = worklist.pop()
+            if self._block_has_def(block_id, var):
+                continue  # the path dies inside this block
+            for succ in self.graph.blocks[block_id].succs:
+                if succ in nodes and succ not in reach:
+                    reach.add(succ)
+                    worklist.append(succ)
+        result = frozenset(reach)
+        self._entry_reach[var] = result
+        return result
+
+    def upward_exposed(self, var: str, block_id: int, index: int) -> bool:
+        """Is a use of ``var`` at (block, statement index) upward-exposed
+        from this mutex body?"""
+        defs_before = [i for i in self._block_defs(block_id).get(var, []) if i < index]
+        if defs_before:
+            return False
+        return block_id in self._entry_reachable(var)
+
+    # -- Theorem 1: reaching the body exit ----------------------------------
+
+    def _exit_reachable(self, var: str) -> frozenset[int]:
+        """Blocks of the body whose *end* can reach the Unlock node along
+        a path with no definition of ``var``."""
+        cached = self._exit_reach.get(var)
+        if cached is not None:
+            return cached
+        nodes = self.body.nodes
+        exit_node = self.body.unlock_node
+        reach: set[int] = set()
+        worklist: list[int] = []
+        for pred in self.graph.blocks[exit_node].preds:
+            if pred in nodes or pred == self.body.lock_node:
+                if pred not in reach:
+                    reach.add(pred)
+                    worklist.append(pred)
+        while worklist:
+            block_id = worklist.pop()
+            # Walking backwards: a predecessor P can reach the exit from
+            # its end through `block_id` only if `block_id` itself is
+            # def-free (the path traverses all of it).
+            if block_id != exit_node and self._block_has_def(block_id, var):
+                continue
+            for pred in self.graph.blocks[block_id].preds:
+                if (pred in nodes or pred == self.body.lock_node) and pred not in reach:
+                    reach.add(pred)
+                    worklist.append(pred)
+        result = frozenset(reach)
+        self._exit_reach[var] = result
+        return result
+
+    def reaches_exit(self, var: str, block_id: int, index: int) -> bool:
+        """Does the definition of ``var`` at (block, statement index)
+        reach this body's Unlock node?"""
+        defs_after = [i for i in self._block_defs(block_id).get(var, []) if i > index]
+        if defs_after:
+            return False
+        return block_id in self._exit_reachable(var)

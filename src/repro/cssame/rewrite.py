@@ -1,0 +1,172 @@
+"""Algorithm A.3 — rewrite π terms using mutual exclusion.
+
+For every π term located inside a mutex body ``b`` of structure ``M_L``,
+each conflict argument ``d`` that comes from *another* body ``b'`` of
+the same structure is removed when either sufficient condition holds:
+
+* the protected use is **not upward-exposed** from ``b`` (Theorem 2), or
+* ``d`` **does not reach the exit node** of ``b'`` (Theorem 1).
+
+A π term whose conflict arguments all disappear carries only its control
+argument; it is deleted and its uses are redirected to the control
+argument (``chain(u)``), exactly as A.3 lines 21–25 prescribe.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import FlowGraph
+from repro.cssame.exposure import BodyDataflow
+from repro.errors import AnalysisError
+from repro.ir.expr import EVar
+from repro.ir.stmts import IRStmt, Pi, SAssign
+from repro.ir.structured import ProgramIR, iter_statements, remove_stmt
+from repro.mutex.structures import MutexBody, MutexStructure
+from repro.ssa.chains import build_use_map
+
+__all__ = ["RewriteStats", "rewrite_pi_terms"]
+
+
+class RewriteStats:
+    """What Algorithm A.3 accomplished (consumed by tests and benches)."""
+
+    __slots__ = ("pis_before", "pis_deleted", "args_before", "args_removed")
+
+    def __init__(self) -> None:
+        self.pis_before = 0
+        self.pis_deleted = 0
+        self.args_before = 0
+        self.args_removed = 0
+
+    @property
+    def pis_after(self) -> int:
+        return self.pis_before - self.pis_deleted
+
+    @property
+    def args_after(self) -> int:
+        return self.args_before - self.args_removed
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"RewriteStats(pis {self.pis_before}->{self.pis_after}, "
+            f"conflict args {self.args_before}->{self.args_after})"
+        )
+
+
+def _collect_pis(program: ProgramIR) -> list[Pi]:
+    return [
+        stmt for stmt, _ctx in iter_statements(program) if isinstance(stmt, Pi)
+    ]
+
+
+def rewrite_pi_terms(
+    program: ProgramIR,
+    graph: FlowGraph,
+    structures: dict[str, MutexStructure],
+) -> RewriteStats:
+    """Run Algorithm A.3 in place; returns rewrite statistics."""
+    stats = RewriteStats()
+    pis = _collect_pis(program)
+    stats.pis_before = len(pis)
+    stats.args_before = sum(len(pi.conflicts) for pi in pis)
+
+    dataflow_cache: dict[int, BodyDataflow] = {}
+    #: (body identity, def uid) → does the def reach that body's exit?
+    reach_cache: dict[tuple, bool] = {}
+
+    def dataflow(body: MutexBody) -> BodyDataflow:
+        key = id(body)
+        cached = dataflow_cache.get(key)
+        if cached is None:
+            cached = BodyDataflow(graph, body)
+            dataflow_cache[key] = cached
+        return cached
+
+    for _lock_name, structure in sorted(structures.items()):
+        for body in structure.bodies:
+            for block_id in sorted(body.nodes):
+                block = graph.blocks[block_id]
+                for stmt in block.stmts:
+                    if not isinstance(stmt, Pi):
+                        continue
+                    _rewrite_one(
+                        stmt, body, structure, graph, dataflow, reach_cache, stats
+                    )
+
+    # Delete π terms reduced to their control argument.
+    reduced = [pi for pi in pis if not pi.conflicts and pi.parent is not None]
+    if reduced:
+        usemap = build_use_map(program)
+        for pi in reduced:
+            control = pi.control
+            for use, _holder in usemap.uses_of(pi):
+                use.name = control.name
+                use.version = control.version
+                use.def_site = control.def_site
+            remove_stmt(pi)
+            _remove_from_block(graph, pi)
+            stats.pis_deleted += 1
+        graph.reindex_statements()
+    return stats
+
+
+def _rewrite_one(
+    pi: Pi,
+    body: MutexBody,
+    structure: MutexStructure,
+    graph: FlowGraph,
+    dataflow,
+    reach_cache: dict[tuple, bool],
+    stats: RewriteStats,
+) -> None:
+    var = pi.var_name
+    use_block, use_index = graph.location_of(pi)
+    # Theorem 2's condition depends only on the use, so compute it once
+    # per π (lazily — only when some argument needs it).
+    not_exposed: bool | None = None
+    kept: list[EVar] = []
+    for arg in pi.conflicts:
+        def_site = arg.def_site
+        if not isinstance(def_site, SAssign):
+            raise AnalysisError(
+                f"π conflict argument without a real definition: {arg!r}"
+            )
+        def_block, def_index = graph.location_of(def_site)
+        other_body = structure.body_of_block(def_block)
+        if other_body is None or other_body is body:
+            # Unsynchronized definition, or a definition in the same
+            # body (possible when the body spans a whole cobegin):
+            # the theorems do not apply — keep the argument.
+            kept.append(arg)
+            continue
+        if not_exposed is None:
+            not_exposed = not dataflow(body).upward_exposed(
+                var, use_block, use_index
+            )
+        if not_exposed:
+            stats.args_removed += 1
+            continue
+        # Theorem 1's condition depends only on the definition and the
+        # body it is judged against (a def under nested locks belongs to
+        # one body per structure); cache it across every π that lists
+        # this definition.
+        cache_key = (id(other_body), def_site.uid)
+        killed = reach_cache.get(cache_key)
+        if killed is None:
+            killed = not dataflow(other_body).reaches_exit(
+                var, def_block, def_index
+            )
+            reach_cache[cache_key] = killed
+        if killed:
+            stats.args_removed += 1
+        else:
+            kept.append(arg)
+    pi.conflicts = kept
+
+
+def _remove_from_block(graph: FlowGraph, stmt: IRStmt) -> None:
+    block = graph.block_of(stmt)
+    for i, existing in enumerate(block.stmts):
+        if existing is stmt:
+            block.stmts.pop(i)
+            return
+    raise AnalysisError(f"{stmt!r} missing from its block")  # pragma: no cover

@@ -1,0 +1,110 @@
+"""Exception hierarchy for the CSSAME reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Front-end problems (lexing/parsing) carry source
+positions; semantic and analysis errors carry enough context to be
+actionable in tests and diagnostics.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SourceLocation:
+    """A (line, column) position in a source buffer.
+
+    Lines and columns are 1-based, matching what editors display.
+    """
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int, column: int) -> None:
+        self.line = int(line)
+        self.column = int(column)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"SourceLocation({self.line}, {self.column})"
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SourceLocation)
+            and self.line == other.line
+            and self.column == other.column
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.line, self.column))
+
+
+class LexError(ReproError):
+    """An unrecognised character or malformed token in the source."""
+
+    def __init__(self, message: str, location: SourceLocation) -> None:
+        super().__init__(f"{location}: {message}")
+        self.location = location
+
+
+class ParseError(ReproError):
+    """The token stream does not form a valid program."""
+
+    def __init__(self, message: str, location: SourceLocation) -> None:
+        super().__init__(f"{location}: {message}")
+        self.location = location
+
+
+class SemanticError(ReproError):
+    """A structurally valid program that violates a semantic rule.
+
+    Examples: assigning to a lock variable, using a variable declared
+    ``private`` in two different threads of the same cobegin.
+    """
+
+
+class CFGError(ReproError):
+    """Internal inconsistency while building or querying a flow graph."""
+
+
+class SSAError(ReproError):
+    """Internal inconsistency in SSA construction or FUD chains."""
+
+
+class AnalysisError(ReproError):
+    """A dataflow or mutex analysis was asked something it cannot answer."""
+
+
+class TransformError(ReproError):
+    """An optimization pass attempted an ill-formed rewrite."""
+
+
+class VMError(ReproError):
+    """Runtime error inside the interleaving virtual machine."""
+
+
+class DeadlockError(VMError):
+    """Every live thread is blocked; execution cannot make progress.
+
+    Carries the set of lock names held and the blocked thread ids so the
+    exhaustive explorer can report *which* schedule deadlocks.
+    """
+
+    def __init__(self, blocked_threads, held_locks) -> None:
+        self.blocked_threads = tuple(sorted(blocked_threads))
+        self.held_locks = dict(held_locks)
+        super().__init__(
+            f"deadlock: threads {list(self.blocked_threads)} blocked, "
+            f"locks held: {self.held_locks}"
+        )
+
+
+class StepLimitExceeded(VMError):
+    """The VM executed more steps than the configured fuel allows."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        super().__init__(f"execution exceeded {limit} steps (possible livelock)")

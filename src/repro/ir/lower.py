@@ -1,0 +1,165 @@
+"""Lowering: AST → structured IR.
+
+Besides the 1:1 structural mapping, lowering performs the only piece of
+name resolution the language needs: ``private x;`` declarations introduce
+a fresh mangled name per declaration site, so that two threads declaring
+``private x`` get distinct IR variables.  Everything else is shared by
+default, matching the paper's memory model.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SemanticError
+from repro.lang import ast_nodes as ast
+from repro.ir.expr import EConst, expr_from_ast, iter_expr_vars
+from repro.ir.stmts import (
+    SAssign,
+    SBarrier,
+    SBranch,
+    SCallStmt,
+    SLock,
+    SPrint,
+    SSetEvent,
+    SSkip,
+    SUnlock,
+    SWaitEvent,
+)
+from repro.ir.structured import (
+    Body,
+    CobeginRegion,
+    IfRegion,
+    ProgramIR,
+    ThreadRegion,
+    WhileRegion,
+)
+
+__all__ = ["lower_program"]
+
+
+class _Scope:
+    """A lexical rename scope mapping source names to IR names."""
+
+    __slots__ = ("mapping", "outer")
+
+    def __init__(self, outer: "_Scope | None" = None) -> None:
+        self.mapping: dict[str, str] = {}
+        self.outer = outer
+
+    def resolve(self, name: str) -> str:
+        scope: _Scope | None = self
+        while scope is not None:
+            mapped = scope.mapping.get(name)
+            if mapped is not None:
+                return mapped
+            scope = scope.outer
+        return name
+
+
+class _Lowerer:
+    def __init__(self) -> None:
+        self.program = ProgramIR()
+
+    def run(self, node: ast.Program) -> ProgramIR:
+        scope = _Scope()
+        self._lower_block(node.body, self.program.body, scope)
+        return self.program
+
+    # ------------------------------------------------------------------
+
+    def _lower_expr(self, node: ast.Expr, scope: _Scope):
+        expr = expr_from_ast(node, scope.resolve)
+        for var in iter_expr_vars(expr):
+            self.program.register_name(var.name)
+        return expr
+
+    def _lower_block(self, block: ast.Block, body: Body, scope: _Scope) -> None:
+        for stmt in block.stmts:
+            self._lower_stmt(stmt, body, scope)
+
+    def _lower_stmt(self, node: ast.Stmt, body: Body, scope: _Scope) -> None:
+        program = self.program
+        if isinstance(node, ast.VarDecl):
+            mangled = program.fresh_name(f"{node.ident}__p")
+            program.private_names.add(mangled)
+            scope.mapping[node.ident] = mangled
+            if node.init is not None:
+                body.append(SAssign(mangled, self._lower_expr(node.init, scope)))
+            else:
+                # Implicit zero initialisation keeps the VM semantics
+                # (and SSA entry definitions) unsurprising.
+                body.append(SAssign(mangled, EConst(0)))
+        elif isinstance(node, ast.Assign):
+            target = scope.resolve(node.target)
+            program.register_name(target)
+            body.append(SAssign(target, self._lower_expr(node.value, scope)))
+        elif isinstance(node, ast.IfStmt):
+            branch = SBranch(self._lower_expr(node.cond, scope))
+            region = IfRegion(branch)
+            self._lower_block(node.then_block, region.then_body, _Scope(scope))
+            if node.else_block is not None:
+                self._lower_block(node.else_block, region.else_body, _Scope(scope))
+            body.append(region)
+        elif isinstance(node, ast.WhileStmt):
+            branch = SBranch(self._lower_expr(node.cond, scope))
+            region = WhileRegion(branch)
+            self._lower_block(node.body, region.body, _Scope(scope))
+            body.append(region)
+        elif isinstance(node, ast.Cobegin):
+            region = CobeginRegion()
+            for i, thread in enumerate(node.threads):
+                label = thread.label if thread.label is not None else f"T{i}"
+                t = ThreadRegion(label)
+                self._lower_block(thread.body, t.body, _Scope(scope))
+                region.add_thread(t)
+            body.append(region)
+        elif isinstance(node, ast.LockStmt):
+            program.register_name(node.lock_name)
+            body.append(SLock(node.lock_name))
+        elif isinstance(node, ast.UnlockStmt):
+            program.register_name(node.lock_name)
+            body.append(SUnlock(node.lock_name))
+        elif isinstance(node, ast.SetStmt):
+            program.register_name(node.event_name)
+            body.append(SSetEvent(node.event_name))
+        elif isinstance(node, ast.WaitStmt):
+            program.register_name(node.event_name)
+            body.append(SWaitEvent(node.event_name))
+        elif isinstance(node, ast.PrintStmt):
+            body.append(SPrint([self._lower_expr(a, scope) for a in node.args]))
+        elif isinstance(node, ast.CallStmt):
+            body.append(
+                SCallStmt(node.func, [self._lower_expr(a, scope) for a in node.args])
+            )
+        elif isinstance(node, ast.BarrierStmt):
+            program.register_name(node.barrier_name)
+            body.append(SBarrier(node.barrier_name))
+        elif isinstance(node, ast.DoAll):
+            self._lower_doall(node, body, scope)
+        elif isinstance(node, ast.Skip):
+            body.append(SSkip())
+        else:
+            raise SemanticError(f"cannot lower statement {node!r}")
+
+    def _lower_doall(self, node: ast.DoAll, body: Body, scope: _Scope) -> None:
+        """Static expansion: ``doall i = lo to hi`` becomes a cobegin
+        with one thread per iteration and a private copy of the index,
+        matching how the authors' macro-based front end would realise a
+        parallel loop with known bounds."""
+        if node.high < node.low:
+            return  # zero iterations
+        region = CobeginRegion()
+        for value in range(node.low, node.high + 1):
+            thread = ThreadRegion(f"{node.var}{value}")
+            iter_scope = _Scope(scope)
+            mangled = self.program.fresh_name(f"{node.var}__it")
+            self.program.private_names.add(mangled)
+            iter_scope.mapping[node.var] = mangled
+            thread.body.append(SAssign(mangled, EConst(value)))
+            self._lower_block(node.body, thread.body, iter_scope)
+            region.add_thread(thread)
+        body.append(region)
+
+
+def lower_program(node: ast.Program) -> ProgramIR:
+    """Lower a parsed AST into a fresh :class:`ProgramIR`."""
+    return _Lowerer().run(node)

@@ -1,0 +1,71 @@
+"""Front-end for the explicitly parallel toy language.
+
+The paper's prototype used the SUIF C front-end with ``cobegin/coend``
+macros.  We build an equivalent stand-alone front-end: a small imperative
+language with integer variables, structured control flow, ``cobegin /
+coend`` parallel sections, mutex synchronization (``lock``/``unlock``),
+event synchronization (``set``/``wait``) and opaque calls.
+
+Public surface:
+
+* :func:`repro.lang.parse` — source text to AST.
+* :class:`repro.lang.Parser`, :class:`repro.lang.Lexer` — the machinery.
+* :mod:`repro.lang.ast_nodes` — the AST node classes.
+* :func:`repro.lang.pretty.format_program` — AST back to source.
+"""
+
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    Block,
+    CallExpr,
+    CallStmt,
+    Cobegin,
+    IntLit,
+    LockStmt,
+    Name,
+    PrintStmt,
+    Program,
+    SetStmt,
+    Skip,
+    ThreadBlock,
+    UnaryOp,
+    UnlockStmt,
+    VarDecl,
+    WaitStmt,
+    WhileStmt,
+    IfStmt,
+)
+from repro.lang.lexer import Lexer, Token, TokenKind
+from repro.lang.parser import Parser, parse
+from repro.lang.pretty import format_expr, format_program
+
+__all__ = [
+    "Assign",
+    "BinOp",
+    "Block",
+    "CallExpr",
+    "CallStmt",
+    "Cobegin",
+    "IfStmt",
+    "IntLit",
+    "Lexer",
+    "LockStmt",
+    "Name",
+    "Parser",
+    "PrintStmt",
+    "Program",
+    "SetStmt",
+    "Skip",
+    "ThreadBlock",
+    "Token",
+    "TokenKind",
+    "UnaryOp",
+    "UnlockStmt",
+    "VarDecl",
+    "WaitStmt",
+    "WhileStmt",
+    "format_expr",
+    "format_program",
+    "parse",
+]

@@ -1,0 +1,442 @@
+"""AST node classes for the toy parallel language.
+
+The AST is the immutable front-end output.  Analyses and optimizations
+never run on it directly; :mod:`repro.ir.lower` converts it into the
+mutable structured IR.
+
+Expression nodes
+    :class:`IntLit`, :class:`Name`, :class:`BinOp`, :class:`UnaryOp`,
+    :class:`CallExpr`.
+
+Statement nodes
+    :class:`VarDecl`, :class:`Assign`, :class:`IfStmt`,
+    :class:`WhileStmt`, :class:`Cobegin` (with :class:`ThreadBlock`
+    children), :class:`LockStmt`, :class:`UnlockStmt`, :class:`SetStmt`,
+    :class:`WaitStmt`, :class:`PrintStmt`, :class:`CallStmt`,
+    :class:`Skip`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import SourceLocation
+
+__all__ = [
+    "Assign",
+    "BarrierStmt",
+    "BinOp",
+    "Block",
+    "CallExpr",
+    "CallStmt",
+    "Cobegin",
+    "DoAll",
+    "Expr",
+    "IfStmt",
+    "IntLit",
+    "LockStmt",
+    "Name",
+    "Node",
+    "PrintStmt",
+    "Program",
+    "SetStmt",
+    "Skip",
+    "Stmt",
+    "ThreadBlock",
+    "UnaryOp",
+    "UnlockStmt",
+    "VarDecl",
+    "WaitStmt",
+    "WhileStmt",
+]
+
+_NOWHERE = SourceLocation(0, 0)
+
+
+class Node:
+    """Base class for every AST node; carries a source location."""
+
+    __slots__ = ("location",)
+
+    def __init__(self, location: SourceLocation | None = None) -> None:
+        self.location = location or _NOWHERE
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    """Base class for expression nodes."""
+
+    __slots__ = ()
+
+
+class IntLit(Expr):
+    """An integer literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, location: SourceLocation | None = None) -> None:
+        super().__init__(location)
+        self.value = int(value)
+
+    def __repr__(self) -> str:
+        return f"IntLit({self.value})"
+
+
+class Name(Expr):
+    """A variable reference."""
+
+    __slots__ = ("ident",)
+
+    def __init__(self, ident: str, location: SourceLocation | None = None) -> None:
+        super().__init__(location)
+        self.ident = ident
+
+    def __repr__(self) -> str:
+        return f"Name({self.ident!r})"
+
+
+class BinOp(Expr):
+    """A binary operation; ``op`` is the operator's source spelling."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(
+        self,
+        op: str,
+        left: Expr,
+        right: Expr,
+        location: SourceLocation | None = None,
+    ) -> None:
+        super().__init__(location)
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.op!r}, {self.left!r}, {self.right!r})"
+
+
+class UnaryOp(Expr):
+    """A unary operation: ``-`` (negation) or ``!`` (logical not)."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, location: SourceLocation | None = None) -> None:
+        super().__init__(location)
+        self.op = op
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return f"UnaryOp({self.op!r}, {self.operand!r})"
+
+
+class CallExpr(Expr):
+    """A call used as a value, e.g. ``g(a)``.
+
+    Calls are opaque to the static analyses: the result is unknown
+    (lattice bottom) and the callee is assumed pure when used inside an
+    expression.  Side-effecting calls appear as :class:`CallStmt`.
+    """
+
+    __slots__ = ("func", "args")
+
+    def __init__(
+        self,
+        func: str,
+        args: Sequence[Expr],
+        location: SourceLocation | None = None,
+    ) -> None:
+        super().__init__(location)
+        self.func = func
+        self.args = list(args)
+
+    def __repr__(self) -> str:
+        return f"CallExpr({self.func!r}, {self.args!r})"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt(Node):
+    """Base class for statement nodes."""
+
+    __slots__ = ()
+
+
+class Block(Node):
+    """A sequence of statements (`{ ... }` or `begin ... end`)."""
+
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: Sequence[Stmt], location: SourceLocation | None = None) -> None:
+        super().__init__(location)
+        self.stmts = list(stmts)
+
+    def __repr__(self) -> str:
+        return f"Block({self.stmts!r})"
+
+
+class VarDecl(Stmt):
+    """``private x;`` — declares ``x`` thread-private.
+
+    Only ``private`` declarations are required: ordinary variables spring
+    into existence on first assignment and are shared by default, which
+    matches the paper's examples.
+    """
+
+    __slots__ = ("ident", "init")
+
+    def __init__(
+        self,
+        ident: str,
+        init: Optional[Expr] = None,
+        location: SourceLocation | None = None,
+    ) -> None:
+        super().__init__(location)
+        self.ident = ident
+        self.init = init
+
+    def __repr__(self) -> str:
+        return f"VarDecl({self.ident!r}, {self.init!r})"
+
+
+class Assign(Stmt):
+    """``x = expr;``"""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: str, value: Expr, location: SourceLocation | None = None) -> None:
+        super().__init__(location)
+        self.target = target
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Assign({self.target!r}, {self.value!r})"
+
+
+class IfStmt(Stmt):
+    """``if (cond) { ... } else { ... }`` — else branch optional."""
+
+    __slots__ = ("cond", "then_block", "else_block")
+
+    def __init__(
+        self,
+        cond: Expr,
+        then_block: Block,
+        else_block: Optional[Block] = None,
+        location: SourceLocation | None = None,
+    ) -> None:
+        super().__init__(location)
+        self.cond = cond
+        self.then_block = then_block
+        self.else_block = else_block
+
+    def __repr__(self) -> str:
+        return f"IfStmt({self.cond!r}, {self.then_block!r}, {self.else_block!r})"
+
+
+class WhileStmt(Stmt):
+    """``while (cond) { ... }``"""
+
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: Block, location: SourceLocation | None = None) -> None:
+        super().__init__(location)
+        self.cond = cond
+        self.body = body
+
+    def __repr__(self) -> str:
+        return f"WhileStmt({self.cond!r}, {self.body!r})"
+
+
+class ThreadBlock(Node):
+    """One child thread of a cobegin: ``T0: begin ... end``."""
+
+    __slots__ = ("label", "body")
+
+    def __init__(
+        self,
+        label: Optional[str],
+        body: Block,
+        location: SourceLocation | None = None,
+    ) -> None:
+        super().__init__(location)
+        self.label = label
+        self.body = body
+
+    def __repr__(self) -> str:
+        return f"ThreadBlock({self.label!r}, {self.body!r})"
+
+
+class Cobegin(Stmt):
+    """``cobegin <threads> coend`` — runs all child threads concurrently."""
+
+    __slots__ = ("threads",)
+
+    def __init__(
+        self,
+        threads: Sequence[ThreadBlock],
+        location: SourceLocation | None = None,
+    ) -> None:
+        super().__init__(location)
+        self.threads = list(threads)
+
+    def __repr__(self) -> str:
+        return f"Cobegin({self.threads!r})"
+
+
+class LockStmt(Stmt):
+    """``lock(L);`` — acquire mutex ``L`` (blocking)."""
+
+    __slots__ = ("lock_name",)
+
+    def __init__(self, lock_name: str, location: SourceLocation | None = None) -> None:
+        super().__init__(location)
+        self.lock_name = lock_name
+
+    def __repr__(self) -> str:
+        return f"LockStmt({self.lock_name!r})"
+
+
+class UnlockStmt(Stmt):
+    """``unlock(L);`` — release mutex ``L``."""
+
+    __slots__ = ("lock_name",)
+
+    def __init__(self, lock_name: str, location: SourceLocation | None = None) -> None:
+        super().__init__(location)
+        self.lock_name = lock_name
+
+    def __repr__(self) -> str:
+        return f"UnlockStmt({self.lock_name!r})"
+
+
+class SetStmt(Stmt):
+    """``set(e);`` — signal event ``e`` (event stays set; no clear)."""
+
+    __slots__ = ("event_name",)
+
+    def __init__(self, event_name: str, location: SourceLocation | None = None) -> None:
+        super().__init__(location)
+        self.event_name = event_name
+
+    def __repr__(self) -> str:
+        return f"SetStmt({self.event_name!r})"
+
+
+class WaitStmt(Stmt):
+    """``wait(e);`` — block until event ``e`` has been set."""
+
+    __slots__ = ("event_name",)
+
+    def __init__(self, event_name: str, location: SourceLocation | None = None) -> None:
+        super().__init__(location)
+        self.event_name = event_name
+
+    def __repr__(self) -> str:
+        return f"WaitStmt({self.event_name!r})"
+
+
+class PrintStmt(Stmt):
+    """``print(e1, e2, ...);`` — the observable output of a program."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: Sequence[Expr], location: SourceLocation | None = None) -> None:
+        super().__init__(location)
+        self.args = list(args)
+
+    def __repr__(self) -> str:
+        return f"PrintStmt({self.args!r})"
+
+
+class CallStmt(Stmt):
+    """``f(a, b);`` — an opaque side-effecting call statement."""
+
+    __slots__ = ("func", "args")
+
+    def __init__(
+        self,
+        func: str,
+        args: Sequence[Expr],
+        location: SourceLocation | None = None,
+    ) -> None:
+        super().__init__(location)
+        self.func = func
+        self.args = list(args)
+
+    def __repr__(self) -> str:
+        return f"CallStmt({self.func!r}, {self.args!r})"
+
+
+class Skip(Stmt):
+    """``skip;`` — the empty statement."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Skip()"
+
+
+class DoAll(Stmt):
+    """``doall i = lo to hi { body }`` — a parallel loop.
+
+    All iterations execute concurrently with ``i`` bound per iteration
+    (the paper's ``doall`` construct, Section 7).  Bounds must be
+    integer literals: like the authors' macro-based prototype, the
+    front-end expands the loop statically into a ``cobegin`` with one
+    thread per iteration and a private copy of the index variable.
+    The range is inclusive: ``doall i = 0 to 2`` spawns 3 iterations.
+    """
+
+    __slots__ = ("var", "low", "high", "body")
+
+    def __init__(
+        self,
+        var: str,
+        low: int,
+        high: int,
+        body: Block,
+        location: SourceLocation | None = None,
+    ) -> None:
+        super().__init__(location)
+        self.var = var
+        self.low = int(low)
+        self.high = int(high)
+        self.body = body
+
+    def __repr__(self) -> str:
+        return f"DoAll({self.var!r}, {self.low}, {self.high}, {self.body!r})"
+
+
+class BarrierStmt(Stmt):
+    """``barrier(B);`` — cyclic barrier among the sibling threads of the
+    enclosing cobegin that mention ``B`` (Section 7 future work)."""
+
+    __slots__ = ("barrier_name",)
+
+    def __init__(self, barrier_name: str, location: SourceLocation | None = None) -> None:
+        super().__init__(location)
+        self.barrier_name = barrier_name
+
+    def __repr__(self) -> str:
+        return f"BarrierStmt({self.barrier_name!r})"
+
+
+class Program(Node):
+    """A whole translation unit: a top-level statement sequence."""
+
+    __slots__ = ("body",)
+
+    def __init__(self, body: Block, location: SourceLocation | None = None) -> None:
+        super().__init__(location)
+        self.body = body
+
+    def __repr__(self) -> str:
+        return f"Program({self.body!r})"

@@ -1,0 +1,120 @@
+"""Static lock-order deadlock detection.
+
+Masticola and Ryder's non-concurrency analysis — the basis of the
+paper's mutex structures — was originally built for deadlock detection;
+this module closes the circle with the classic lock-order-graph check:
+
+* node = lock variable;
+* edge ``L → M`` = some ``Lock(M)`` node executes while ``L`` is held
+  (its lockset contains ``L``);
+* a cycle whose edges can actually interleave (two witnesses in
+  may-happen-in-parallel blocks) is a potential deadlock: thread A can
+  hold ``L`` wanting ``M`` while thread B holds ``M`` wanting ``L``.
+
+The exhaustive explorer (:mod:`repro.vm.explore`) can then *prove* the
+risk real by producing a deadlocking schedule witness.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.blocks import NodeKind
+from repro.cfg.concurrency import may_happen_in_parallel
+from repro.cfg.graph import FlowGraph
+from repro.mutex.lockset import compute_locksets
+from repro.mutex.structures import MutexStructure
+
+__all__ = ["DeadlockRisk", "detect_lock_order_cycles"]
+
+
+class DeadlockRisk:
+    """A potential deadlock: a lock-order cycle with concurrent witnesses."""
+
+    __slots__ = ("cycle", "witnesses")
+
+    def __init__(self, cycle: tuple[str, ...], witnesses: dict) -> None:
+        #: lock names in acquisition-cycle order, e.g. ("A", "B")
+        self.cycle = cycle
+        #: (held, wanted) → acquiring block ids demonstrating the edge
+        self.witnesses = witnesses
+
+    def message(self) -> str:
+        chain = " -> ".join(self.cycle + (self.cycle[0],))
+        return (
+            f"potential deadlock: lock acquisition cycle {chain} "
+            f"(concurrent witnesses: "
+            + ", ".join(
+                f"hold {h} want {w} at B{bs[0]}"
+                for (h, w), bs in sorted(self.witnesses.items())
+            )
+            + ")"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DeadlockRisk({self.message()})"
+
+
+def _order_edges(
+    graph: FlowGraph,
+    structures: dict[str, MutexStructure],
+) -> dict[tuple[str, str], list[int]]:
+    """(held, wanted) → blocks acquiring `wanted` while holding `held`."""
+    locksets = compute_locksets(graph, structures)
+    edges: dict[tuple[str, str], list[int]] = {}
+    for block in graph.nodes_of_kind(NodeKind.LOCK):
+        wanted = block.stmts[0].lock_name
+        for held in locksets[block.id]:
+            if held != wanted:
+                edges.setdefault((held, wanted), []).append(block.id)
+    return edges
+
+
+def detect_lock_order_cycles(
+    graph: FlowGraph,
+    structures: dict[str, MutexStructure],
+) -> list[DeadlockRisk]:
+    """Find lock-order cycles whose edges can interleave."""
+    edges = _order_edges(graph, structures)
+    adjacency: dict[str, set[str]] = {}
+    for held, wanted in edges:
+        adjacency.setdefault(held, set()).add(wanted)
+
+    risks: list[DeadlockRisk] = []
+    reported: set[frozenset[str]] = set()
+
+    # Enumerate simple cycles with a bounded DFS (lock graphs are tiny).
+    def dfs(start: str, node: str, path: list[str]) -> None:
+        for succ in sorted(adjacency.get(node, ())):
+            if succ == start and len(path) >= 2:
+                cycle = tuple(path)
+                key = frozenset(cycle)
+                if key in reported:
+                    continue
+                witnesses = {
+                    (cycle[i], cycle[(i + 1) % len(cycle)]): edges[
+                        (cycle[i], cycle[(i + 1) % len(cycle)])
+                    ]
+                    for i in range(len(cycle))
+                }
+                if _cycle_can_interleave(graph, witnesses):
+                    reported.add(key)
+                    risks.append(DeadlockRisk(cycle, witnesses))
+            elif succ not in path and succ > start:
+                # `succ > start` canonicalizes cycle enumeration.
+                dfs(start, succ, path + [succ])
+
+    for start in sorted(adjacency):
+        dfs(start, start, [start])
+    return risks
+
+
+def _cycle_can_interleave(graph: FlowGraph, witnesses: dict) -> bool:
+    """At least two distinct edges must have MHP witnesses — otherwise
+    the nesting is sequential and cannot deadlock."""
+    items = list(witnesses.items())
+    for i, (_edge_a, blocks_a) in enumerate(items):
+        for _edge_b, blocks_b in items[i + 1 :]:
+            for a in blocks_a:
+                for b in blocks_b:
+                    if may_happen_in_parallel(graph.blocks[a], graph.blocks[b]):
+                        return True
+    return False

@@ -1,0 +1,99 @@
+"""Algorithm A.1 — identification of mutex structures.
+
+Phases, exactly as in the paper:
+
+1. collect the ``Lock(L)`` / ``Unlock(L)`` nodes per lock variable;
+2. build dominator and post-dominator trees;
+3. pair every ``(n, x)`` with ``n DOM x`` and ``x PDOM n`` as a
+   candidate mutex body;
+4. discard candidates that contain another ``Lock(L)``/``Unlock(L)``
+   node (condition 3 of Definition 3).
+
+Ill-formed synchronization (unmatched locks, etc.) simply produces fewer
+mutex bodies, which keeps every downstream analysis conservative — this
+is the paper's deliberate deviation from Masticola's strict intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cfg.blocks import NodeKind
+from repro.cfg.dominance import (
+    DominatorTree,
+    compute_dominators,
+    compute_postdominators,
+)
+from repro.cfg.graph import FlowGraph
+from repro.mutex.structures import MutexBody, MutexStructure
+
+__all__ = ["identify_mutex_structures"]
+
+
+def _body_nodes(
+    graph: FlowGraph,
+    domtree: DominatorTree,
+    pdomtree: DominatorTree,
+    n: int,
+    x: int,
+) -> frozenset[int]:
+    """``SDOM⁻¹(n) ∩ PDOM⁻¹(x)``: strictly dominated by the Lock node
+    and post-dominated by the Unlock node."""
+    members = set()
+    for block_id in domtree.dominated_by(n):
+        if block_id == n:
+            continue
+        if pdomtree.dominates(x, block_id):
+            members.add(block_id)
+    return frozenset(members)
+
+
+def identify_mutex_structures(
+    graph: FlowGraph,
+    domtree: Optional[DominatorTree] = None,
+    pdomtree: Optional[DominatorTree] = None,
+) -> dict[str, MutexStructure]:
+    """Run Algorithm A.1; returns lock name → :class:`MutexStructure`."""
+    if domtree is None:
+        domtree = compute_dominators(graph)
+    if pdomtree is None:
+        pdomtree = compute_postdominators(graph)
+
+    # Phase 1: lock/unlock nodes per lock variable.
+    plock: dict[str, list[int]] = {}
+    punlock: dict[str, list[int]] = {}
+    for block in graph.nodes_of_kind(NodeKind.LOCK):
+        plock.setdefault(block.stmts[0].lock_name, []).append(block.id)
+    for block in graph.nodes_of_kind(NodeKind.UNLOCK):
+        punlock.setdefault(block.stmts[0].lock_name, []).append(block.id)
+
+    structures: dict[str, MutexStructure] = {}
+    lock_vars = sorted(set(plock) | set(punlock))
+    for lock_name in lock_vars:
+        structure = MutexStructure(lock_name)
+        locks = plock.get(lock_name, [])
+        unlocks = punlock.get(lock_name, [])
+        all_ops = locks + unlocks
+
+        # Phase 2: candidate pairing (Definition 3, conditions 1–2).
+        candidates: list[tuple[int, int]] = []
+        for n in locks:
+            for x in unlocks:
+                if domtree.dominates(n, x) and pdomtree.dominates(x, n):
+                    candidates.append((n, x))
+
+        # Phase 3: drop candidates containing other Lock/Unlock(L) ops
+        # (Definition 3, condition 3 / A.1 lines 19–26).
+        for n, x in candidates:
+            illegal = False
+            for m in all_ops:
+                if m == n or m == x:
+                    continue
+                if domtree.dominates(n, m) and pdomtree.dominates(x, m):
+                    illegal = True
+                    break
+            if not illegal:
+                nodes = _body_nodes(graph, domtree, pdomtree, n, x)
+                structure.add(MutexBody(lock_name, n, x, nodes))
+        structures[lock_name] = structure
+    return structures

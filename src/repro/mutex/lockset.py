@@ -1,0 +1,37 @@
+"""Locks guaranteed held at each PFG node.
+
+A node holds lock ``L`` when it belongs to some mutex body of ``L``'s
+mutex structure.  Because mutex bodies are single-entry/single-exit
+regions whose Lock dominates and Unlock post-dominates every member,
+membership is a *must* property: every execution reaching the node holds
+the lock.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import FlowGraph
+from repro.mutex.structures import MutexStructure
+
+__all__ = ["compute_locksets"]
+
+
+def compute_locksets(
+    graph: FlowGraph,
+    structures: dict[str, MutexStructure],
+) -> list[frozenset[str]]:
+    """Per block id, the set of lock names guaranteed held there.
+
+    The Unlock node itself is *not* counted as holding the lock (it is
+    the release point), while the Lock node is (the paper's mutex body
+    excludes ``n`` but execution inside ``n`` already owns the lock;
+    for diagnostics what matters is the protected interior, so we count
+    the body's interior nodes plus the Lock node itself).
+    """
+    locksets: list[set[str]] = [set() for _ in graph.blocks]
+    for lock_name, structure in structures.items():
+        for body in structure.bodies:
+            locksets[body.lock_node].add(lock_name)
+            for block_id in body.nodes:
+                if block_id != body.unlock_node:
+                    locksets[block_id].add(lock_name)
+    return [frozenset(s) for s in locksets]

@@ -1,0 +1,121 @@
+"""Lockset-style data race detection (paper Section 6).
+
+"If modifications to a variable are not always protected by the same
+lock, the compiler will warn the user about a potential data race."
+
+For every shared variable we examine each pair of may-happen-in-parallel
+accesses with at least one write.  If the locksets held at the two
+accesses are disjoint, no common lock serializes them — a potential
+race.  (If they share a lock, the pair is serialized by mutual
+exclusion.)
+"""
+
+from __future__ import annotations
+
+from repro.cfg.concurrency import may_happen_in_parallel
+from repro.cfg.conflicts import (
+    collect_access_sites,
+    is_memory_access,
+    shared_variables,
+)
+from repro.cfg.graph import FlowGraph
+from repro.mutex.lockset import compute_locksets
+from repro.mutex.structures import MutexStructure
+
+__all__ = ["RaceReport", "detect_races"]
+
+
+class RaceReport:
+    """A potential data race on ``var`` between two concurrent accesses."""
+
+    __slots__ = ("var", "block_a", "block_b", "kind", "locks_a", "locks_b")
+
+    def __init__(
+        self,
+        var: str,
+        block_a: int,
+        block_b: int,
+        kind: str,
+        locks_a: frozenset[str],
+        locks_b: frozenset[str],
+    ) -> None:
+        self.var = var
+        self.block_a = block_a
+        self.block_b = block_b
+        #: "write-write" or "write-read"
+        self.kind = kind
+        self.locks_a = locks_a
+        self.locks_b = locks_b
+
+    def message(self) -> str:
+        return (
+            f"potential {self.kind} race on '{self.var}': "
+            f"B{self.block_a} holds {set(self.locks_a) or '{}'} while "
+            f"B{self.block_b} holds {set(self.locks_b) or '{}'} (no common lock)"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RaceReport({self.message()})"
+
+
+def detect_races(
+    graph: FlowGraph,
+    structures: dict[str, MutexStructure],
+    use_ordering: bool = True,
+) -> list[RaceReport]:
+    """Report every MHP conflicting access pair with disjoint locksets.
+
+    Works on plain or CSSA-form graphs: SSA merge terms are ignored
+    (see :func:`repro.cfg.conflicts.is_memory_access`).  With
+    ``use_ordering`` (default), pairs serialized by event or one-shot
+    barrier synchronization — the must-happen-before relation of
+    :class:`repro.cssame.ordering.EventOrdering` — are not reported.
+    """
+    locksets = compute_locksets(graph, structures)
+    sites = collect_access_sites(graph)
+    shared = shared_variables(graph, sites)
+
+    ordering = None
+    if use_ordering:
+        from repro.cssame.ordering import EventOrdering
+
+        candidate = EventOrdering(graph)
+        if candidate.set_nodes or candidate.barrier_nodes:
+            ordering = candidate
+
+    reports: list[RaceReport] = []
+    seen: set[tuple[str, int, int, str]] = set()
+    for var in sorted(shared):
+        accesses = [s for s in sites.get(var, []) if is_memory_access(s)]
+        writes = [s for s in accesses if s.is_real_def]
+        for w in writes:
+            w_block = graph.blocks[w.block_id]
+            for other in accesses:
+                if other.stmt is w.stmt and other.is_def:
+                    continue
+                if not may_happen_in_parallel(w_block, graph.blocks[other.block_id]):
+                    continue
+                if locksets[w.block_id] & locksets[other.block_id]:
+                    continue  # serialized by a common lock
+                if ordering is not None and (
+                    ordering.must_precede(w.block_id, other.block_id)
+                    or ordering.must_precede(other.block_id, w.block_id)
+                ):
+                    continue  # serialized by events/barriers
+                kind = "write-write" if other.is_def else "write-read"
+                a, b = sorted((w.block_id, other.block_id))
+                key = (var, a, b, kind)
+                if key in seen:
+                    continue
+                seen.add(key)
+                reports.append(
+                    RaceReport(
+                        var,
+                        w.block_id,
+                        other.block_id,
+                        kind,
+                        locksets[w.block_id],
+                        locksets[other.block_id],
+                    )
+                )
+    return reports

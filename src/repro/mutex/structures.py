@@ -1,0 +1,86 @@
+"""Mutex bodies and mutex structures (paper Definitions 3–4)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["MutexBody", "MutexStructure"]
+
+
+class MutexBody:
+    """A single-entry single-exit region protected by one lock.
+
+    ``B_L(n, x)`` with ``n = Lock(L)`` and ``x = Unlock(L)``:
+
+    * ``n`` dominates ``x`` and ``x`` post-dominates ``n``;
+    * ``nodes`` = blocks strictly dominated by ``n`` and post-dominated
+      by ``x`` — so ``x ∈ nodes`` and ``n ∉ nodes``;
+    * no other ``Lock(L)``/``Unlock(L)`` node lies inside.
+    """
+
+    __slots__ = ("lock_name", "lock_node", "unlock_node", "nodes")
+
+    def __init__(
+        self,
+        lock_name: str,
+        lock_node: int,
+        unlock_node: int,
+        nodes: frozenset[int],
+    ) -> None:
+        self.lock_name = lock_name
+        self.lock_node = lock_node
+        self.unlock_node = unlock_node
+        self.nodes = nodes
+
+    def contains(self, block_id: int) -> bool:
+        return block_id in self.nodes
+
+    def interior_nodes(self) -> frozenset[int]:
+        """Body nodes excluding the Unlock node itself."""
+        return self.nodes - {self.unlock_node}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"MutexBody({self.lock_name}, lock=B{self.lock_node}, "
+            f"unlock=B{self.unlock_node}, |nodes|={len(self.nodes)})"
+        )
+
+
+class MutexStructure:
+    """All mutex bodies for one lock variable (Definition 4)."""
+
+    __slots__ = ("lock_name", "bodies", "_block_index")
+
+    def __init__(self, lock_name: str) -> None:
+        self.lock_name = lock_name
+        self.bodies: list[MutexBody] = []
+        self._block_index: dict[int, MutexBody] | None = None
+
+    def add(self, body: MutexBody) -> None:
+        self.bodies.append(body)
+        self._block_index = None
+
+    def body_of_block(self, block_id: int) -> MutexBody | None:
+        """The body containing ``block_id``, if any.
+
+        Bodies of the same lock are pairwise disjoint (overlap would put
+        one body's Lock/Unlock node inside the other, which Algorithm
+        A.1 rejects), so at most one body matches.  The block → body
+        index is cached (Algorithm A.3 queries it per π argument).
+        """
+        if self._block_index is None:
+            self._block_index = {
+                block_id: body
+                for body in self.bodies
+                for block_id in body.nodes
+            }
+        return self._block_index.get(block_id)
+
+    def __iter__(self) -> Iterator[MutexBody]:
+        return iter(self.bodies)
+
+    def __len__(self) -> int:
+        return len(self.bodies)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MutexStructure({self.lock_name}, bodies={len(self.bodies)})"

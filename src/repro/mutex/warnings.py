@@ -1,0 +1,105 @@
+"""Section 6 synchronization diagnostics.
+
+The paper's prototype reports warnings for unsafe synchronization
+structure discovered as a by-product of Algorithm A.1:
+
+* ``Lock``/``Unlock`` nodes that are not part of any mutex body
+  (unmatched or irreducible locking);
+* improperly nested mutex bodies of *different* locks (bodies that
+  overlap without one containing the other, e.g.
+  ``lock(A); lock(B); unlock(A); unlock(B)``).
+"""
+
+from __future__ import annotations
+
+from repro.cfg.blocks import NodeKind
+from repro.cfg.graph import FlowGraph
+from repro.mutex.structures import MutexStructure
+
+__all__ = ["SyncWarning", "check_synchronization"]
+
+
+class SyncWarning:
+    """One diagnostic: a kind tag, a message, and the blocks involved."""
+
+    __slots__ = ("kind", "message", "blocks")
+
+    def __init__(self, kind: str, message: str, blocks: tuple[int, ...]) -> None:
+        #: "unmatched-lock" | "unmatched-unlock" | "improper-nesting"
+        self.kind = kind
+        self.message = message
+        self.blocks = blocks
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SyncWarning({self.kind}: {self.message})"
+
+
+def check_synchronization(
+    graph: FlowGraph,
+    structures: dict[str, MutexStructure],
+) -> list[SyncWarning]:
+    """Run all synchronization-structure checks; returns the warnings."""
+    warnings: list[SyncWarning] = []
+    warnings.extend(_unmatched_ops(graph, structures))
+    warnings.extend(_improper_nesting(structures))
+    return warnings
+
+
+def _unmatched_ops(
+    graph: FlowGraph, structures: dict[str, MutexStructure]
+) -> list[SyncWarning]:
+    matched_locks: set[int] = set()
+    matched_unlocks: set[int] = set()
+    for structure in structures.values():
+        for body in structure.bodies:
+            matched_locks.add(body.lock_node)
+            matched_unlocks.add(body.unlock_node)
+
+    out: list[SyncWarning] = []
+    for block in graph.nodes_of_kind(NodeKind.LOCK):
+        if block.id not in matched_locks:
+            name = block.stmts[0].lock_name
+            out.append(
+                SyncWarning(
+                    "unmatched-lock",
+                    f"lock({name}) at B{block.id} does not delimit any mutex body",
+                    (block.id,),
+                )
+            )
+    for block in graph.nodes_of_kind(NodeKind.UNLOCK):
+        if block.id not in matched_unlocks:
+            name = block.stmts[0].lock_name
+            out.append(
+                SyncWarning(
+                    "unmatched-unlock",
+                    f"unlock({name}) at B{block.id} does not delimit any mutex body",
+                    (block.id,),
+                )
+            )
+    return out
+
+
+def _improper_nesting(structures: dict[str, MutexStructure]) -> list[SyncWarning]:
+    out: list[SyncWarning] = []
+    items = sorted(structures.items())
+    for i, (name_a, struct_a) in enumerate(items):
+        for name_b, struct_b in items[i + 1 :]:
+            for body_a in struct_a.bodies:
+                # Compare the *full* protected regions (lock node + body).
+                region_a = body_a.nodes | {body_a.lock_node}
+                for body_b in struct_b.bodies:
+                    region_b = body_b.nodes | {body_b.lock_node}
+                    overlap = region_a & region_b
+                    if not overlap:
+                        continue
+                    if region_a <= region_b or region_b <= region_a:
+                        continue
+                    out.append(
+                        SyncWarning(
+                            "improper-nesting",
+                            f"mutex bodies of {name_a} (B{body_a.lock_node}) and "
+                            f"{name_b} (B{body_b.lock_node}) overlap without nesting",
+                            (body_a.lock_node, body_b.lock_node),
+                        )
+                    )
+    return out

@@ -1,0 +1,36 @@
+"""Optimizations on the CSSAME form (paper Section 5).
+
+* :mod:`repro.opt.concprop` — Concurrent Sparse Conditional Constant
+  propagation (Section 5.1): Wegman–Zadeck SCC extended with π terms.
+* :mod:`repro.opt.pdce` — Parallel Dead Code Elimination (Section 5.2).
+* :mod:`repro.opt.licm` — Lock-Independent Code Motion (Section 5.3,
+  Algorithm A.5).
+* :mod:`repro.opt.simplify` — structural cleanups shared by the passes.
+* :mod:`repro.opt.pipeline` — the constprop → PDCE → LICM driver used
+  by the paper's running example (Figures 4–5).
+"""
+
+from repro.opt.lattice import BOTTOM, TOP, ConstValue, LatticeValue, meet
+from repro.opt.concprop import ConstPropStats, concurrent_constant_propagation
+from repro.opt.pdce import PDCEStats, parallel_dead_code_elimination
+from repro.opt.licm import LICMStats, lock_independent_code_motion
+from repro.opt.lvn import LVNStats, local_value_numbering
+from repro.opt.pipeline import OptimizationReport, optimize
+
+__all__ = [
+    "BOTTOM",
+    "ConstPropStats",
+    "ConstValue",
+    "LICMStats",
+    "LVNStats",
+    "LatticeValue",
+    "OptimizationReport",
+    "PDCEStats",
+    "TOP",
+    "concurrent_constant_propagation",
+    "local_value_numbering",
+    "lock_independent_code_motion",
+    "meet",
+    "optimize",
+    "parallel_dead_code_elimination",
+]

@@ -1,0 +1,211 @@
+"""Parallel Dead Code Elimination (Section 5.2).
+
+Cytron-style mark/sweep DCE adapted to explicitly parallel programs:
+
+* seeds: statements assumed to affect the output — ``print``, opaque
+  calls, and synchronization operations (``lock``/``unlock``/``set``/
+  ``wait``; removing empty critical sections is LICM's job, not DCE's);
+* a live statement makes the definitions feeding its uses live — and
+  because φ **and π terms are followed like definitions** (Algorithm
+  A.4), a use that is live in one thread keeps alive the concurrent
+  definitions that may reach it through π conflict arguments.  This is
+  what makes the paper's example work: ``b1 = 8`` in T0 stays alive
+  because T1's ``tb0 = π(b0, b1)`` reaches a printed value, while a
+  sequential DCE would wrongly kill it;
+* a live statement makes the branches it is control dependent on live
+  (control dependence = post-dominance frontier);
+* a ``cobegin`` is live if any child thread contains a live statement;
+  when exactly one thread survives, the construct is replaced by that
+  thread's sequential code (paper modification 2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cfg.builder import build_flow_graph
+from repro.cfg.dominance import compute_postdominators, postdominance_frontiers
+from repro.cfg.graph import FlowGraph
+from repro.errors import TransformError
+from repro.ir.stmts import (
+    IRStmt,
+    Phi,
+    SBarrier,
+    Pi,
+    SAssign,
+    SBranch,
+    SCallStmt,
+    SLock,
+    SPrint,
+    SSetEvent,
+    SSkip,
+    SUnlock,
+    SWaitEvent,
+)
+from repro.ir.structured import (
+    Body,
+    CobeginRegion,
+    IfRegion,
+    ProgramIR,
+    WhileRegion,
+    iter_statements,
+    remove_stmt,
+)
+
+__all__ = ["PDCEStats", "parallel_dead_code_elimination"]
+
+_SEED_KINDS = (SPrint, SCallStmt, SLock, SUnlock, SSetEvent, SWaitEvent, SBarrier)
+
+
+class PDCEStats:
+    """Outcome of one PDCE run."""
+
+    def __init__(self) -> None:
+        self.stmts_removed = 0
+        self.phis_removed = 0
+        self.pis_removed = 0
+        self.regions_removed = 0
+        self.threads_removed = 0
+        self.cobegins_sequentialized = 0
+
+    @property
+    def total_removed(self) -> int:
+        return self.stmts_removed + self.phis_removed + self.pis_removed
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"PDCEStats(stmts={self.stmts_removed}, phis={self.phis_removed}, "
+            f"pis={self.pis_removed}, regions={self.regions_removed}, "
+            f"sequentialized={self.cobegins_sequentialized})"
+        )
+
+
+def _mark_live(program: ProgramIR, graph: FlowGraph) -> set[IRStmt]:
+    pdom = compute_postdominators(graph)
+    pdf = postdominance_frontiers(graph, pdom)
+
+    live: set[IRStmt] = set()
+    worklist: list[IRStmt] = []
+
+    def mark(stmt: IRStmt) -> None:
+        if stmt not in live:
+            live.add(stmt)
+            worklist.append(stmt)
+
+    for stmt, _ctx in iter_statements(program):
+        if isinstance(stmt, _SEED_KINDS):
+            mark(stmt)
+
+    while worklist:
+        stmt = worklist.pop()
+        # Data dependence: definitions feeding this statement are live.
+        for use in stmt.uses():
+            site = use.def_site
+            if isinstance(site, IRStmt):
+                mark(site)
+        # Control dependence: branches this statement depends on are live.
+        if graph.contains_stmt(stmt):
+            block_id = graph.block_of(stmt).id
+            for ctrl_id in pdf[block_id]:
+                ctrl_block = graph.blocks[ctrl_id]
+                if ctrl_block.stmts and isinstance(ctrl_block.stmts[-1], SBranch):
+                    mark(ctrl_block.stmts[-1])
+    return live
+
+
+class _Sweeper:
+    def __init__(self, live: set[IRStmt], stats: PDCEStats) -> None:
+        self.live = live
+        self.stats = stats
+
+    def sweep_body(self, body: Body) -> None:
+        for item in list(body.items):
+            if isinstance(item, IRStmt):
+                self._sweep_stmt(item)
+            elif isinstance(item, IfRegion):
+                self._sweep_if(body, item)
+            elif isinstance(item, WhileRegion):
+                self._sweep_while(body, item)
+            elif isinstance(item, CobeginRegion):
+                self._sweep_cobegin(body, item)
+
+    def _sweep_stmt(self, stmt: IRStmt) -> None:
+        if stmt in self.live:
+            return
+        if isinstance(stmt, (SAssign, Phi, Pi, SSkip)):
+            remove_stmt(stmt)
+            if isinstance(stmt, Phi):
+                self.stats.phis_removed += 1
+            elif isinstance(stmt, Pi):
+                self.stats.pis_removed += 1
+            else:
+                self.stats.stmts_removed += 1
+
+    def _assert_no_live(self, body: Body) -> None:
+        for stmt, _ctx in iter_statements_body(body):
+            if stmt in self.live:
+                raise TransformError(
+                    "live statement inside a region with a dead branch"
+                )
+
+    def _sweep_if(self, body: Body, region: IfRegion) -> None:
+        if region.branch in self.live:
+            self.sweep_body(region.then_body)
+            self.sweep_body(region.else_body)
+            return
+        self._assert_no_live(region.then_body)
+        self._assert_no_live(region.else_body)
+        body.remove(region)
+        self.stats.regions_removed += 1
+
+    def _sweep_while(self, body: Body, region: WhileRegion) -> None:
+        if region.branch in self.live:
+            for header in list(region.header_phis):
+                self._sweep_stmt(header)
+            self.sweep_body(region.body)
+            return
+        self._assert_no_live(region.body)
+        for header in list(region.header_phis):
+            if header in self.live:
+                raise TransformError("live loop-header term in a dead loop")
+        body.remove(region)
+        self.stats.regions_removed += 1
+
+    def _sweep_cobegin(self, body: Body, region: CobeginRegion) -> None:
+        for thread in region.threads:
+            self.sweep_body(thread.body)
+        surviving = [t for t in region.threads if len(t.body) > 0]
+        removed = len(region.threads) - len(surviving)
+        self.stats.threads_removed += removed
+        if len(surviving) == len(region.threads):
+            return
+        if len(surviving) >= 2:
+            region.threads = surviving
+            return
+        if len(surviving) == 1:
+            # Paper modification 2: one live thread → sequential code.
+            body.replace(region, list(surviving[0].body.items))
+            self.stats.cobegins_sequentialized += 1
+        else:
+            body.remove(region)
+            self.stats.regions_removed += 1
+
+
+def iter_statements_body(body: Body):
+    """Iterate statements under one body (helper for assertions)."""
+    from repro.ir.structured import _iter_body  # shared traversal
+
+    return _iter_body(body, (), True)
+
+
+def parallel_dead_code_elimination(
+    program: ProgramIR,
+    graph: Optional[FlowGraph] = None,
+) -> PDCEStats:
+    """Run PDCE on an SSA/CSSA/CSSAME-form ``program``, in place."""
+    if graph is None:
+        graph = build_flow_graph(program)
+    live = _mark_live(program, graph)
+    stats = PDCEStats()
+    _Sweeper(live, stats).sweep_body(program.body)
+    return stats

@@ -1,0 +1,74 @@
+"""Structural cleanups shared by the optimization passes.
+
+These are conservative, semantics-preserving tidy-ups:
+
+* drop ``skip`` statements;
+* drop ``if`` regions whose branches are both empty (conditions are
+  side-effect free — calls in a discarded condition would be lost, so
+  conditions containing calls are kept);
+* drop ``while`` regions with a constant-false condition;
+* drop ``cobegin`` regions with no threads, splice single-thread
+  cobegins inline.
+
+Infinite loops and non-empty regions are never touched.
+"""
+
+from __future__ import annotations
+
+from repro.ir.expr import EConst
+from repro.ir.stmts import SSkip
+from repro.ir.structured import (
+    Body,
+    CobeginRegion,
+    IfRegion,
+    ProgramIR,
+    WhileRegion,
+)
+from repro.opt.licm import _contains_call
+
+__all__ = ["simplify_structure"]
+
+
+def simplify_structure(program: ProgramIR) -> int:
+    """Apply all cleanups until fixpoint; returns how many items were
+    removed or spliced."""
+    total = 0
+    while True:
+        removed = _simplify_body(program.body)
+        total += removed
+        if removed == 0:
+            return total
+
+
+def _simplify_body(body: Body) -> int:
+    removed = 0
+    for item in list(body.items):
+        if isinstance(item, SSkip):
+            body.remove(item)
+            removed += 1
+        elif isinstance(item, IfRegion):
+            removed += _simplify_body(item.then_body)
+            removed += _simplify_body(item.else_body)
+            if (
+                not item.then_body
+                and not item.else_body
+                and not _contains_call(item.branch.cond)
+            ):
+                body.remove(item)
+                removed += 1
+        elif isinstance(item, WhileRegion):
+            removed += _simplify_body(item.body)
+            cond = item.branch.cond
+            if isinstance(cond, EConst) and cond.value == 0 and not item.header_phis:
+                body.remove(item)
+                removed += 1
+        elif isinstance(item, CobeginRegion):
+            for thread in item.threads:
+                removed += _simplify_body(thread.body)
+            if not item.threads:
+                body.remove(item)
+                removed += 1
+            elif len(item.threads) == 1:
+                body.replace(item, list(item.threads[0].body.items))
+                removed += 1
+    return removed

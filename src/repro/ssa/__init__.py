@@ -1,0 +1,31 @@
+"""Sequential SSA over the PFG, with factored use-def chains.
+
+The paper computes its underlying sequential SSA form using factored
+use-def (FUD) chains "with appropriate modifications to avoid placing
+superfluous φ terms at coend nodes".  This package implements:
+
+* minimal φ placement via iterated dominance frontiers,
+* dominator-tree renaming that stamps every use site
+  (:class:`repro.ir.expr.EVar`) with its version and its ``chain(u)``
+  def-site link,
+* the coend trimming rule — a φ at a coend keeps one argument per child
+  thread that actually defines the variable, and collapses entirely when
+  fewer than two threads define it,
+* SSA destruction (dropping versions, deleting φs, turning π terms into
+  plain copies), valid because every pass keeps the form conventional.
+"""
+
+from repro.ssa.names import EntryDef
+from repro.ssa.construct import SSAContext, build_ssa
+from repro.ssa.chains import UseMap, build_use_map, defs_in_program
+from repro.ssa.destruct import destruct_ssa
+
+__all__ = [
+    "EntryDef",
+    "SSAContext",
+    "UseMap",
+    "build_ssa",
+    "build_use_map",
+    "defs_in_program",
+    "destruct_ssa",
+]

@@ -1,0 +1,311 @@
+"""SSA construction over the PFG.
+
+Pipeline (called on a *non-SSA* program and its fresh flow graph):
+
+1. **φ placement** — minimal SSA via iterated dominance frontiers
+   (Cytron et al.), one pass per base variable.
+2. **Renaming** — a dominator-tree walk stamps every use with its
+   version and FUD ``chain(u)`` link, fills φ arguments per predecessor
+   edge, and numbers definitions per base variable starting at 0 (so the
+   first assignment to ``a`` becomes ``a0``, matching the paper's
+   figures).
+3. **Coend trimming** — the paper's modification: a φ at a coend node
+   keeps one argument per child thread that defines the variable.  With
+   fewer than two defining threads the φ is superfluous: uses are
+   redirected to the surviving argument and the φ disappears.  (Unlike a
+   sequential join, *all* coend predecessors execute, so a single
+   defining thread's last write always wins.)
+4. **Materialization** — surviving φs are inserted into the structured
+   tree at their anchors (after the if/cobegin region, or into the loop
+   header list) so listings show them exactly like the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SSAError
+from repro.cfg.blocks import NodeKind
+from repro.cfg.dominance import (
+    DominatorTree,
+    compute_dominators,
+    dominance_frontiers,
+)
+from repro.cfg.graph import FlowGraph
+from repro.ir.expr import EVar
+from repro.ir.stmts import IRStmt, Phi, PhiArg, Pi, SAssign
+from repro.ir.structured import ProgramIR
+from repro.ssa.names import EntryDef
+
+__all__ = ["SSAContext", "build_ssa"]
+
+
+class SSAContext:
+    """Everything SSA construction produced, for downstream phases.
+
+    Attributes
+    ----------
+    program / graph:
+        The (now SSA-form) program and the graph it was built on.  φ
+        terms live both in ``graph`` blocks and in the structured tree.
+    domtree:
+        Dominator tree (reused by later analyses).
+    entry_defs:
+        Base name → :class:`EntryDef` sentinel.
+    version_counters:
+        Base name → next free version number.
+    phis:
+        All surviving φ terms.
+    """
+
+    def __init__(self, program: ProgramIR, graph: FlowGraph, domtree: DominatorTree) -> None:
+        self.program = program
+        self.graph = graph
+        self.domtree = domtree
+        self.entry_defs: dict[str, EntryDef] = {}
+        self.version_counters: dict[str, int] = {}
+        self.phis: list[Phi] = []
+
+    def entry_def(self, name: str) -> EntryDef:
+        sentinel = self.entry_defs.get(name)
+        if sentinel is None:
+            sentinel = EntryDef(name)
+            self.entry_defs[name] = sentinel
+        return sentinel
+
+    def next_version(self, name: str) -> int:
+        version = self.version_counters.get(name, 0)
+        self.version_counters[name] = version + 1
+        return version
+
+
+def _collect_variables(graph: FlowGraph) -> tuple[set[str], dict[str, set[int]]]:
+    """All base names plus, per name, the blocks containing real defs."""
+    variables: set[str] = set()
+    def_blocks: dict[str, set[int]] = {}
+    for block in graph.blocks:
+        if block.phis:
+            raise SSAError("SSA construction requires a non-SSA program (φ found)")
+        for stmt in block.stmts:
+            if isinstance(stmt, (Phi, Pi)):
+                raise SSAError("SSA construction requires a non-SSA program")
+            target = stmt.def_name()
+            if target is not None:
+                variables.add(target)
+                def_blocks.setdefault(target, set()).add(block.id)
+            for use in stmt.uses():
+                variables.add(use.name)
+    return variables, def_blocks
+
+
+def _place_phis(
+    graph: FlowGraph,
+    domtree: DominatorTree,
+    def_blocks: dict[str, set[int]],
+) -> None:
+    """Minimal φ placement via iterated dominance frontiers."""
+    frontiers = dominance_frontiers(graph, domtree)
+    for var in sorted(def_blocks):
+        worklist = list(def_blocks[var])
+        placed: set[int] = set()
+        on_worklist = set(worklist)
+        while worklist:
+            block_id = worklist.pop()
+            for frontier_id in frontiers[block_id]:
+                if frontier_id in placed:
+                    continue
+                placed.add(frontier_id)
+                graph.blocks[frontier_id].phis.append(Phi(var, None, []))
+                if frontier_id not in on_worklist:
+                    on_worklist.add(frontier_id)
+                    worklist.append(frontier_id)
+
+
+def _rename(ctx: SSAContext, variables: set[str]) -> None:
+    """Dominator-tree renaming; stamps versions and chain(u) links."""
+    graph = ctx.graph
+    domtree = ctx.domtree
+    stacks: dict[str, list[object]] = {
+        var: [ctx.entry_def(var)] for var in variables
+    }
+
+    def top(name: str):
+        stack = stacks.get(name)
+        if not stack:
+            # A name never seen during collection (e.g. a lock variable
+            # in an expression context) still gets an entry def.
+            sentinel = ctx.entry_def(name)
+            stacks[name] = [sentinel]
+            return sentinel
+        return stack[-1]
+
+    def stamp(use: EVar) -> None:
+        site = top(use.name)
+        use.version = site.def_version()
+        use.def_site = site
+
+    # Iterative pre/post-order walk of the dominator tree.
+    work: list[tuple[int, bool]] = [(graph.entry_id, False)]
+    pushed_log: dict[int, list[str]] = {}
+    while work:
+        block_id, leaving = work.pop()
+        block = graph.blocks[block_id]
+        if leaving:
+            for name in reversed(pushed_log.pop(block_id, [])):
+                stacks[name].pop()
+            continue
+        pushed: list[str] = []
+        pushed_log[block_id] = pushed
+
+        for phi in block.phis:
+            phi.version = ctx.next_version(phi.target)
+            stacks[phi.target].append(phi)
+            pushed.append(phi.target)
+        for stmt in block.stmts:
+            for use in stmt.uses():
+                stamp(use)
+            target = stmt.def_name()
+            if target is not None:
+                if isinstance(stmt, SAssign):
+                    stmt.version = ctx.next_version(target)
+                stacks.setdefault(target, [ctx.entry_def(target)])
+                stacks[target].append(stmt)
+                pushed.append(target)
+
+        for succ_id in block.succs:
+            succ = graph.blocks[succ_id]
+            for phi in succ.phis:
+                site = top(phi.target)
+                arg_var = EVar(phi.target, site.def_version(), site)
+                phi.args.append(PhiArg(arg_var, block_id))
+
+        work.append((block_id, True))
+        for child in sorted(domtree.children[block_id], reverse=True):
+            work.append((child, False))
+
+
+def _def_block_id(ctx: SSAContext, site: object) -> int:
+    """Block containing a def site (entry block for EntryDef)."""
+    if isinstance(site, EntryDef):
+        return ctx.graph.entry_id
+    if isinstance(site, IRStmt):
+        return ctx.graph.block_of(site).id
+    raise SSAError(f"unknown def site {site!r}")
+
+
+def _trim_coend_phis(ctx: SSAContext) -> None:
+    """Apply the paper's coend rule; delete superfluous φ terms."""
+    graph = ctx.graph
+    coend_region: dict[int, int] = {
+        coend_id: region_uid
+        for region_uid, (_cob, coend_id) in graph.cobegin_nodes.items()
+    }
+
+    replacements: dict[Phi, EVar] = {}
+    for block in graph.blocks:
+        if block.kind is not NodeKind.COEND:
+            continue
+        region_uid = coend_region[block.id]
+        for phi in list(block.phis):
+            kept: list[PhiArg] = []
+            for arg in phi.args:
+                try:
+                    thread_index = block.preds.index(arg.pred_block)
+                except ValueError as exc:  # pragma: no cover - defensive
+                    raise SSAError("coend φ argument from a non-predecessor") from exc
+                def_block = graph.blocks[_def_block_id(ctx, arg.var.def_site)]
+                if def_block.thread_map.get(region_uid) == thread_index:
+                    arg.thread_index = thread_index
+                    kept.append(arg)
+            if len(kept) >= 2:
+                phi.args = kept
+            elif len(kept) == 1:
+                replacements[phi] = kept[0].var
+                block.phis.remove(phi)
+            else:  # pragma: no cover - placement guarantees >= 1
+                raise SSAError("coend φ with no in-thread arguments")
+
+    if not replacements:
+        return
+
+    def resolve(var: EVar) -> EVar:
+        seen = set()
+        while isinstance(var.def_site, Phi) and var.def_site in replacements:
+            if id(var.def_site) in seen:  # pragma: no cover - defensive
+                raise SSAError("cycle in coend φ replacements")
+            seen.add(id(var.def_site))
+            var = replacements[var.def_site]  # type: ignore[index]
+        return var
+
+    # Redirect every use that chains to a deleted φ.
+    for block in graph.blocks:
+        for phi in block.phis:
+            for arg in phi.args:
+                if isinstance(arg.var.def_site, Phi) and arg.var.def_site in replacements:
+                    final = resolve(arg.var)
+                    arg.var = EVar(final.name, final.version, final.def_site)
+        for stmt in block.stmts:
+            for use in stmt.uses():
+                if isinstance(use.def_site, Phi) and use.def_site in replacements:
+                    final = resolve(use)
+                    use.version = final.version
+                    use.def_site = final.def_site
+
+
+def _sort_phi_args(ctx: SSAContext) -> None:
+    """Order every φ's arguments to match its block's predecessor order.
+
+    Renaming appends arguments in dominator-tree visit order; sorting
+    them into predecessor order gives a stable positional invariant
+    (``args[i]`` enters through ``preds[i]``) that survives flow-graph
+    rebuilds — constant propagation relies on it for edge-executability
+    reasoning.
+    """
+    for block in ctx.graph.blocks:
+        if not block.phis:
+            continue
+        order = {pred: i for i, pred in enumerate(block.preds)}
+        for phi in block.phis:
+            phi.args.sort(key=lambda arg: order.get(arg.pred_block, len(order)))
+
+
+def _materialize_phis(ctx: SSAContext) -> None:
+    """Insert surviving φ terms into the structured tree."""
+    for block in ctx.graph.blocks:
+        if not block.phis:
+            continue
+        anchor = block.phi_anchor
+        if anchor is None:
+            raise SSAError(
+                f"φ terms placed at block B{block.id} which has no anchor"
+            )
+        if anchor.kind == "after":
+            body = anchor.body
+            index = body.index(anchor.region) + 1
+            for offset, phi in enumerate(block.phis):
+                body.insert(index + offset, phi)
+        elif anchor.kind == "header":
+            for phi in block.phis:
+                anchor.region.add_header_stmt(phi)
+        else:  # pragma: no cover - defensive
+            raise SSAError(f"unknown φ anchor kind {anchor.kind!r}")
+        ctx.phis.extend(block.phis)
+
+
+def build_ssa(program: ProgramIR, graph: FlowGraph) -> SSAContext:
+    """Convert ``program``/``graph`` (shared statements) to SSA form.
+
+    Returns the :class:`SSAContext`; the program tree now contains φ
+    terms and every use site carries ``version``/``def_site``.
+    """
+    domtree = compute_dominators(graph)
+    ctx = SSAContext(program, graph, domtree)
+    variables, def_blocks = _collect_variables(graph)
+    _place_phis(graph, domtree, def_blocks)
+    graph.reindex_statements()  # φ terms need locations for coend trimming
+    _rename(ctx, variables)
+    _trim_coend_phis(ctx)
+    _sort_phi_args(ctx)
+    _materialize_phis(ctx)
+    graph.reindex_statements()
+    return ctx

@@ -1,0 +1,68 @@
+"""SSA destruction (out-of-SSA).
+
+All of this library's transformations keep the CSSA form *conventional*:
+no pass ever propagates a copy across a φ boundary or makes two versions
+of the same base variable live simultaneously.  Destruction is therefore
+simply:
+
+* φ terms disappear (all their arguments collapse onto the shared base
+  variable, so they would be no-op copies);
+* π terms become plain copies ``temp = base_var`` — exactly the runtime
+  meaning of a π: "read whichever definition reached this point";
+* version stamps and chain links are cleared.
+
+The result is directly executable by the VM and re-analyzable (a fresh
+SSA construction accepts it).
+"""
+
+from __future__ import annotations
+
+from repro.ir.expr import EVar
+from repro.ir.stmts import Phi, Pi, SAssign
+from repro.ir.structured import (
+    Body,
+    ProgramIR,
+    WhileRegion,
+    iter_statements,
+    remove_stmt,
+)
+from repro.errors import TransformError
+
+__all__ = ["destruct_ssa", "replace_stmt"]
+
+
+def replace_stmt(old, new) -> None:
+    """Swap ``old`` for ``new`` wherever ``old`` lives in the tree."""
+    parent = old.parent
+    if isinstance(parent, Body):
+        idx = parent.index(old)
+        parent.items[idx] = new
+        new.parent = parent
+        old.parent = None
+    elif isinstance(parent, WhileRegion):
+        for i, stmt in enumerate(parent.header_phis):
+            if stmt is old:
+                parent.header_phis[i] = new
+                new.parent = parent
+                old.parent = None
+                return
+        raise TransformError(f"{old!r} not found in loop header")
+    else:
+        raise TransformError(f"cannot replace statement with parent {parent!r}")
+
+
+def destruct_ssa(program: ProgramIR) -> ProgramIR:
+    """Take ``program`` out of SSA form, in place; returns it."""
+    for stmt, _ctx in iter_statements(program):
+        if isinstance(stmt, Phi):
+            remove_stmt(stmt)
+        elif isinstance(stmt, Pi):
+            copy = SAssign(stmt.target, EVar(stmt.var_name))
+            replace_stmt(stmt, copy)
+    for stmt, _ctx in iter_statements(program):
+        if isinstance(stmt, SAssign):
+            stmt.version = None
+        for use in stmt.uses():
+            use.version = None
+            use.def_site = None
+    return program

@@ -1,0 +1,54 @@
+"""SSA definition-site sentinels.
+
+Real definitions are IR statements (:class:`repro.ir.stmts.SAssign`,
+:class:`~repro.ir.stmts.Phi`, :class:`~repro.ir.stmts.Pi`).  The value a
+variable holds *at program entry* — before any assignment — is modelled
+by an :class:`EntryDef` sentinel so renaming stacks are never empty and
+every use has a ``chain(u)`` link.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+__all__ = ["EntryDef", "is_real_def"]
+
+_entry_ids = itertools.count()
+
+
+class EntryDef:
+    """The implicit definition of ``name`` at program entry.
+
+    Mimics the def-site interface of IR statements (:meth:`def_name`,
+    :meth:`def_version`) so analyses can treat it uniformly.  Its version
+    is ``None`` and it prints as the bare variable name.
+    """
+
+    __slots__ = ("name", "serial")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.serial = next(_entry_ids)
+
+    def def_name(self) -> str:
+        return self.name
+
+    def def_version(self) -> None:
+        return None
+
+    def to_str(self) -> str:
+        return f"<entry value of {self.name}>"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"EntryDef({self.name!r})"
+
+
+def is_real_def(site: object) -> bool:
+    """True for genuine assignments (not φ/π merges, not entry values).
+
+    The theorems of Section 4 and π conflict arguments only consider
+    real definitions.
+    """
+    from repro.ir.stmts import SAssign
+
+    return isinstance(site, SAssign)

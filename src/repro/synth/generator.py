@@ -1,0 +1,225 @@
+"""Seeded random generation of well-formed explicitly parallel programs.
+
+The generator emits *source text* (exercising the front end too) with
+these guarantees:
+
+* lock/unlock pairs are properly nested and always matched (so every
+  critical section forms a mutex body);
+* loops are bounded (a fresh private counter drives each one), keeping
+  programs terminating — a requirement of the exhaustive explorer;
+* with ``race_free=True`` every shared variable is assigned a protecting
+  lock and only ever touched inside that lock's critical sections, so
+  all cross-thread conflicts are serialized.
+
+The program shape is: shared-variable initialisation, one ``cobegin``
+with ``n_threads`` threads of random statement sequences, and a final
+``print`` of every shared variable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.ir.structured import ProgramIR
+from repro.ir.lower import lower_program
+from repro.lang.parser import parse
+
+__all__ = ["GeneratorConfig", "generate_program", "generate_source"]
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs for the random program generator."""
+
+    seed: int = 0
+    n_threads: int = 2
+    stmts_per_thread: int = 6
+    n_shared: int = 3
+    n_private: int = 1
+    n_locks: int = 1
+    #: probability that a generated segment is a critical section
+    p_critical: float = 0.5
+    #: probability of an if statement (per slot, within depth budget)
+    p_if: float = 0.15
+    #: probability of a bounded loop (per slot, within depth budget)
+    p_while: float = 0.0
+    #: max iterations a generated loop runs
+    loop_bound: int = 2
+    max_depth: int = 2
+    expr_depth: int = 2
+    #: restrict shared accesses to each variable's assigned lock section
+    race_free: bool = False
+    #: include opaque calls (observable events)
+    p_call: float = 0.0
+    #: number of all-thread barriers separating phases (0 = none).
+    #: Barriers are emitted unconditionally at thread top level, outside
+    #: any lock, so generated programs never barrier-deadlock.
+    n_barriers: int = 0
+    #: number of set/wait event pairs (0 = none).  Every ``set`` is the
+    #: producer thread's first statement and every ``wait`` sits at the
+    #: consumer's top level, so waits always eventually unblock.
+    n_events: int = 0
+
+    def shared_vars(self) -> list[str]:
+        return [f"s{i}" for i in range(self.n_shared)]
+
+    def locks(self) -> list[str]:
+        return [f"LK{i}" for i in range(self.n_locks)]
+
+
+class _SourceGenerator:
+    def __init__(self, config: GeneratorConfig) -> None:
+        self.cfg = config
+        self.rng = random.Random(config.seed)
+        self.shared = config.shared_vars()
+        self.locks = config.locks()
+        #: race-free mode: shared var → its protecting lock
+        self.protector = {
+            var: self.locks[i % len(self.locks)] if self.locks else None
+            for i, var in enumerate(self.shared)
+        }
+        self._loop_counter = 0
+
+    # -- expressions --------------------------------------------------------
+
+    def expr(self, readable: list[str], depth: int | None = None) -> str:
+        if depth is None:
+            depth = self.cfg.expr_depth
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.4 or not readable:
+            if readable and rng.random() < 0.6:
+                return rng.choice(readable)
+            return str(rng.randint(-4, 9))
+        op = rng.choice(["+", "-", "*", "+", "-"])
+        return f"({self.expr(readable, depth - 1)} {op} {self.expr(readable, depth - 1)})"
+
+    def cond(self, readable: list[str]) -> str:
+        op = self.rng.choice(["<", "<=", ">", ">=", "==", "!="])
+        return f"{self.expr(readable, 1)} {op} {self.expr(readable, 1)}"
+
+    # -- statements -----------------------------------------------------------
+
+    def assign(self, writable: list[str], readable: list[str]) -> str:
+        target = self.rng.choice(writable)
+        return f"{target} = {self.expr(readable)};"
+
+    def stmts(
+        self,
+        count: int,
+        privates: list[str],
+        depth: int,
+        held_lock: str | None,
+        indent: str,
+    ) -> list[str]:
+        """Generate ``count`` statement slots for one thread context."""
+        cfg = self.cfg
+        rng = self.rng
+        out: list[str] = []
+        for _ in range(count):
+            roll = rng.random()
+            shared_ok = self._accessible_shared(held_lock)
+            writable = shared_ok + privates
+            readable = shared_ok + privates
+            if roll < cfg.p_if and depth > 0:
+                inner = self.stmts(
+                    max(1, count // 2), privates, depth - 1, held_lock, indent + "    "
+                )
+                cond = self.cond(readable)
+                block = "\n".join(indent + "    " + line for line in inner)
+                out.append(f"if ({cond}) {{\n{block}\n{indent}}}")
+            elif roll < cfg.p_if + cfg.p_while and depth > 0:
+                counter = f"it{self._loop_counter}"
+                self._loop_counter += 1
+                inner = self.stmts(
+                    max(1, count // 2), privates, depth - 1, held_lock, indent + "    "
+                )
+                inner.append(f"{counter} = {counter} + 1;")
+                block = "\n".join(indent + "    " + line for line in inner)
+                out.append(f"private {counter} = 0;")
+                out.append(
+                    f"while ({counter} < {cfg.loop_bound}) {{\n{block}\n{indent}}}"
+                )
+            elif (
+                held_lock is None
+                and self.locks
+                and roll < cfg.p_if + cfg.p_while + cfg.p_critical
+            ):
+                lock = rng.choice(self.locks)
+                inner = self.stmts(
+                    max(1, count // 2), privates, depth, lock, indent + "    "
+                )
+                block = "\n".join(indent + "    " + line for line in inner)
+                out.append(f"lock({lock});\n{block}\n{indent}unlock({lock});")
+            elif rng.random() < cfg.p_call:
+                args = ", ".join(
+                    self.expr(readable, 1) for _ in range(rng.randint(1, 2))
+                )
+                out.append(f"work({args});")
+            elif writable:
+                out.append(self.assign(writable, readable))
+        return out
+
+    def _accessible_shared(self, held_lock: str | None) -> list[str]:
+        if not self.cfg.race_free:
+            return list(self.shared)
+        if held_lock is None:
+            return []
+        return [v for v in self.shared if self.protector[v] == held_lock]
+
+    # -- whole program -----------------------------------------------------------
+
+    def generate(self) -> str:
+        cfg = self.cfg
+        lines: list[str] = []
+        for i, var in enumerate(self.shared):
+            lines.append(f"{var} = {self.rng.randint(0, 9)};")
+        lines.append("cobegin")
+        # Event plumbing: the producer sets at the *end* of its body and
+        # the consumer waits at the *start* of its own, so the producer's
+        # work is ordered before the consumer's (the pattern event
+        # pruning exploits).  Producer index < consumer index keeps the
+        # wait graph acyclic — no generated program can event-deadlock.
+        sets_by_thread: dict[int, list[str]] = {}
+        waits_by_thread: dict[int, list[str]] = {}
+        if cfg.n_threads >= 2:
+            for k in range(cfg.n_events):
+                producer = self.rng.randrange(cfg.n_threads - 1)
+                consumer = self.rng.randrange(producer + 1, cfg.n_threads)
+                sets_by_thread.setdefault(producer, []).append(f"ev{k}")
+                waits_by_thread.setdefault(consumer, []).append(f"ev{k}")
+
+        phases = max(cfg.n_barriers + 1, 1)
+        for t in range(cfg.n_threads):
+            privates = [f"p{t}_{i}" for i in range(cfg.n_private)]
+            lines.append(f"T{t}: begin")
+            for event in waits_by_thread.get(t, []):
+                lines.append(f"    wait({event});")
+            for p in privates:
+                lines.append(f"    private {p} = {self.rng.randint(0, 5)};")
+            per_phase = max(cfg.stmts_per_thread // phases, 1)
+            for phase in range(phases):
+                if phase > 0:
+                    # Unconditional, top-level, outside any lock: every
+                    # thread reaches every barrier, so no deadlock.
+                    lines.append(f"    barrier(BR{phase});")
+                body = self.stmts(per_phase, privates, cfg.max_depth, None, "    ")
+                for stmt in body:
+                    lines.append("    " + stmt)
+            for event in sets_by_thread.get(t, []):
+                lines.append(f"    set({event});")
+            lines.append("end")
+        lines.append("coend")
+        args = ", ".join(self.shared)
+        lines.append(f"print({args});")
+        return "\n".join(lines) + "\n"
+
+
+def generate_source(config: GeneratorConfig) -> str:
+    """Generate program source text for ``config`` (deterministic)."""
+    return _SourceGenerator(config).generate()
+
+
+def generate_program(config: GeneratorConfig) -> ProgramIR:
+    """Generate, parse and lower a program for ``config``."""
+    return lower_program(parse(generate_source(config)))

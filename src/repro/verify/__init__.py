@@ -1,0 +1,29 @@
+"""Semantic equivalence checking between program versions.
+
+The paper's transformations claim to preserve program behaviour under
+interleaving semantics.  This package turns that claim into a checkable
+property:
+
+* :func:`exhaustive_equivalence` — compare the *complete* outcome sets
+  of two programs via the schedule explorer (small programs);
+* :func:`sampled_equivalence` — compare outcome sets observed across
+  seeded random schedules (larger programs);
+* :func:`deterministic_output` — for programs whose output is schedule
+  independent, the single output.
+"""
+
+from repro.verify.equivalence import (
+    EquivalenceResult,
+    deterministic_output,
+    exhaustive_equivalence,
+    exhaustive_refinement,
+    sampled_equivalence,
+)
+
+__all__ = [
+    "EquivalenceResult",
+    "deterministic_output",
+    "exhaustive_equivalence",
+    "exhaustive_refinement",
+    "sampled_equivalence",
+]

@@ -1,0 +1,157 @@
+"""Structured IR → VM bytecode.
+
+SSA artefacts compile to their runtime meaning under conventional SSA:
+φ terms are no-ops (every argument already lives in the shared base
+variable) and π terms are copies ``temp = base_var`` ("read whichever
+definition reached here").  Everything else is a 1:1 mapping.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.ir.expr import EVar
+from repro.ir.stmts import (
+    IRStmt,
+    Phi,
+    Pi,
+    SAssign,
+    SBarrier,
+    SCallStmt,
+    SLock,
+    SPrint,
+    SSetEvent,
+    SSkip,
+    SUnlock,
+    SWaitEvent,
+)
+from repro.ir.structured import (
+    Body,
+    CobeginRegion,
+    IfRegion,
+    ProgramIR,
+    WhileRegion,
+)
+from repro.vm.bytecode import Instr, Op, VMProgram
+
+__all__ = ["compile_program"]
+
+
+def _barrier_mentions(body: Body) -> set[str]:
+    """Barrier names mentioned under ``body``, not descending into
+    nested cobegins (a barrier binds to its nearest enclosing cobegin)."""
+    names: set[str] = set()
+    for item in body.items:
+        if isinstance(item, SBarrier):
+            names.add(item.barrier_name)
+        elif isinstance(item, IfRegion):
+            names |= _barrier_mentions(item.then_body)
+            names |= _barrier_mentions(item.else_body)
+        elif isinstance(item, WhileRegion):
+            names |= _barrier_mentions(item.body)
+        # CobeginRegion: stop — inner barriers belong to the inner scope.
+    return names
+
+
+class _Compiler:
+    def __init__(self) -> None:
+        self.instrs: list[Instr] = []
+        #: stack of {barrier name: participant count} per cobegin scope
+        self._barrier_scopes: list[dict[str, int]] = []
+
+    def emit(self, instr: Instr) -> int:
+        self.instrs.append(instr)
+        return len(self.instrs) - 1
+
+    def run(self, program: ProgramIR) -> VMProgram:
+        self.compile_body(program.body)
+        self.emit(Instr(Op.HALT))
+        return VMProgram(self.instrs)
+
+    # ------------------------------------------------------------------
+
+    def compile_body(self, body: Body) -> None:
+        for item in body.items:
+            if isinstance(item, IRStmt):
+                self.compile_stmt(item)
+            elif isinstance(item, IfRegion):
+                self._compile_if(item)
+            elif isinstance(item, WhileRegion):
+                self._compile_while(item)
+            elif isinstance(item, CobeginRegion):
+                self._compile_cobegin(item)
+            else:  # pragma: no cover - defensive
+                raise TransformError(f"cannot compile body item {item!r}")
+
+    def compile_stmt(self, stmt: IRStmt) -> None:
+        if isinstance(stmt, SAssign):
+            self.emit(Instr(Op.ASSIGN, name=stmt.target, expr=stmt.value))
+        elif isinstance(stmt, SPrint):
+            self.emit(Instr(Op.PRINT, exprs=stmt.args))
+        elif isinstance(stmt, SCallStmt):
+            self.emit(Instr(Op.CALL, name=stmt.func, exprs=stmt.args))
+        elif isinstance(stmt, SLock):
+            self.emit(Instr(Op.LOCK, name=stmt.lock_name))
+        elif isinstance(stmt, SUnlock):
+            self.emit(Instr(Op.UNLOCK, name=stmt.lock_name))
+        elif isinstance(stmt, SSetEvent):
+            self.emit(Instr(Op.SET, name=stmt.event_name))
+        elif isinstance(stmt, SWaitEvent):
+            self.emit(Instr(Op.WAIT, name=stmt.event_name))
+        elif isinstance(stmt, SBarrier):
+            count = 1
+            if self._barrier_scopes:
+                count = self._barrier_scopes[-1].get(stmt.barrier_name, 1)
+            self.emit(Instr(Op.BARRIER, name=stmt.barrier_name, target=count))
+        elif isinstance(stmt, SSkip):
+            pass
+        elif isinstance(stmt, Phi):
+            pass  # no-op at runtime (conventional SSA)
+        elif isinstance(stmt, Pi):
+            # "read whichever definition reached this point"
+            self.emit(Instr(Op.ASSIGN, name=stmt.target, expr=EVar(stmt.var_name)))
+        else:  # pragma: no cover - defensive
+            raise TransformError(f"cannot compile statement {stmt!r}")
+
+    def _compile_if(self, region: IfRegion) -> None:
+        branch_pc = self.emit(Instr(Op.BRANCH, expr=region.branch.cond))
+        self.compile_body(region.then_body)
+        if region.else_body:
+            jump_pc = self.emit(Instr(Op.JUMP))
+            self.instrs[branch_pc].target = len(self.instrs)
+            self.compile_body(region.else_body)
+            self.instrs[jump_pc].target = len(self.instrs)
+        else:
+            self.instrs[branch_pc].target = len(self.instrs)
+
+    def _compile_while(self, region: WhileRegion) -> None:
+        loop_head = len(self.instrs)
+        for header in region.header_phis:
+            self.compile_stmt(header)
+        branch_pc = self.emit(Instr(Op.BRANCH, expr=region.branch.cond))
+        self.compile_body(region.body)
+        self.emit(Instr(Op.JUMP, target=loop_head))
+        self.instrs[branch_pc].target = len(self.instrs)
+
+    def _compile_cobegin(self, region: CobeginRegion) -> None:
+        # Participant counts: how many sibling threads mention each
+        # barrier name (lexically, stopping at nested cobegins).
+        counts: dict[str, int] = {}
+        for thread in region.threads:
+            for name in _barrier_mentions(thread.body):
+                counts[name] = counts.get(name, 0) + 1
+        self._barrier_scopes.append(counts)
+
+        cobegin_pc = self.emit(Instr(Op.COBEGIN))
+        entries: list[int] = []
+        for thread in region.threads:
+            entries.append(len(self.instrs))
+            self.compile_body(thread.body)
+            self.emit(Instr(Op.END_THREAD))
+        self.instrs[cobegin_pc].entries = entries
+        self.instrs[cobegin_pc].target = len(self.instrs)
+        self._barrier_scopes.pop()
+
+
+def compile_program(program: ProgramIR) -> VMProgram:
+    """Compile ``program`` (SSA-form or not) to VM bytecode."""
+    return _Compiler().run(program)

@@ -1,0 +1,330 @@
+"""Exhaustive interleaving exploration (a tiny model checker).
+
+Enumerates **every** schedule of a compiled program by depth-first
+search over canonical machine states, memoizing the set of observable
+outcome suffixes per state.  An *outcome* is the tuple of observable
+events (``("print", values)`` / ``("call", name, values)``) produced by
+one complete schedule, optionally terminated by a ``("deadlock",)`` or
+``("error", msg)`` marker; a state cycle (livelock) contributes a
+``("livelock",)`` marker.
+
+The verification suite uses :func:`explore` to prove that an optimized
+program has exactly the same outcome set as the original — for every
+schedule, not just sampled ones.
+
+State canonicalization: threads are keyed by their spawn path (so two
+schedules reaching the same configuration share a state), zero-valued
+variables are dropped from memory, and output produced so far is *not*
+part of the state (outcomes are composed from memoized suffixes).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Optional, Union
+
+from repro.errors import VMError
+from repro.ir.structured import ProgramIR
+from repro.opt.folding import eval_expr_concrete
+from repro.vm.bytecode import Op, VMProgram
+from repro.vm.compile import compile_program
+from repro.vm.machine import default_functions
+
+__all__ = ["ExplorationResult", "explore", "find_witness"]
+
+# A thread record: (tid, pc, status, pending) with status "r"un/"j"oin.
+_ThreadRec = tuple
+
+
+class ExplorationResult:
+    """All behaviours of a program."""
+
+    def __init__(
+        self, outcomes: frozenset, states: int, complete: bool
+    ) -> None:
+        #: frozenset of outcome tuples (see module docstring)
+        self.outcomes = outcomes
+        #: number of distinct machine states visited
+        self.states = states
+        #: False when the state budget was exhausted
+        self.complete = complete
+
+    @property
+    def can_deadlock(self) -> bool:
+        return any(o and o[-1] == ("deadlock",) for o in self.outcomes)
+
+    @property
+    def can_livelock(self) -> bool:
+        return any(o and o[-1] == ("livelock",) for o in self.outcomes)
+
+    def print_outcomes(self) -> frozenset:
+        """Outcomes reduced to printed values only (no call events)."""
+        return frozenset(
+            tuple(e for e in o if e[0] in ("print", "deadlock", "error", "livelock"))
+            for o in self.outcomes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ExplorationResult(outcomes={len(self.outcomes)}, "
+            f"states={self.states}, complete={self.complete})"
+        )
+
+
+class _Explorer:
+    def __init__(
+        self,
+        program: VMProgram,
+        functions: Callable[[str, list[int]], int],
+        max_states: int,
+    ) -> None:
+        self.program = program
+        self.functions = functions
+        self.max_states = max_states
+        self.memo: dict[tuple, frozenset] = {}
+        self.gray: set[tuple] = set()
+        self.truncated = False
+
+    # -- state helpers -----------------------------------------------------
+
+    def initial_state(self) -> tuple:
+        threads = ((((), self.program.entry, "r", 0)),)
+        return (threads, (), (), ())
+
+    def _eval(self, expr, memory: dict) -> int:
+        return eval_expr_concrete(
+            expr, lambda name: memory.get(name, 0), self.functions
+        )
+
+    def _runnable(self, state: tuple) -> list[int]:
+        threads, memory_t, locks_t, events_t = state
+        locks = dict(locks_t)
+        events = set(events_t)
+        out = []
+        for i, (tid, pc, status, _pending) in enumerate(threads):
+            if status != "r":
+                continue
+            instr = self.program.instrs[pc]
+            if instr.op is Op.LOCK and locks.get(instr.name) is not None:
+                continue
+            if instr.op is Op.WAIT and instr.name not in events:
+                continue
+            out.append(i)
+        return out
+
+    def _step(self, state: tuple, index: int) -> tuple[Optional[tuple], tuple]:
+        """Execute thread ``index``; returns (event or None, next state)."""
+        threads_t, memory_t, locks_t, events_t = state
+        threads = {t[0]: list(t) for t in threads_t}
+        memory = dict(memory_t)
+        locks = dict(locks_t)
+        events = set(events_t)
+
+        tid = threads_t[index][0]
+        rec = threads[tid]
+        instr = self.program.instrs[rec[1]]
+        op = instr.op
+        event: Optional[tuple] = None
+
+        if op is Op.ASSIGN:
+            memory[instr.name] = self._eval(instr.expr, memory)
+            rec[1] += 1
+        elif op is Op.PRINT:
+            event = ("print", tuple(self._eval(e, memory) for e in instr.exprs))
+            rec[1] += 1
+        elif op is Op.CALL:
+            event = (
+                "call",
+                instr.name,
+                tuple(self._eval(e, memory) for e in instr.exprs),
+            )
+            rec[1] += 1
+        elif op is Op.LOCK:
+            locks[instr.name] = tid
+            rec[1] += 1
+        elif op is Op.UNLOCK:
+            if locks.get(instr.name) != tid:
+                raise VMError(f"unlock of un-owned lock {instr.name}")
+            del locks[instr.name]
+            rec[1] += 1
+        elif op is Op.SET:
+            events.add(instr.name)
+            rec[1] += 1
+        elif op is Op.WAIT:
+            rec[1] += 1
+        elif op is Op.BARRIER:
+            waiting = [
+                t_id
+                for t_id, t_rec in threads.items()
+                if t_rec[2] == "b"
+                and self.program.instrs[t_rec[1]].op is Op.BARRIER
+                and self.program.instrs[t_rec[1]].name == instr.name
+            ]
+            if len(waiting) + 1 >= (instr.target or 1):
+                for t_id in waiting:
+                    threads[t_id][2] = "r"
+                    threads[t_id][1] += 1
+                rec[1] += 1
+            else:
+                rec[2] = "b"
+        elif op is Op.JUMP:
+            rec[1] = instr.target
+        elif op is Op.BRANCH:
+            if self._eval(instr.expr, memory) != 0:
+                rec[1] += 1
+            else:
+                rec[1] = instr.target
+        elif op is Op.COBEGIN:
+            rec[2] = "j"
+            rec[3] = len(instr.entries)
+            rec[1] = instr.target
+            for i, entry in enumerate(instr.entries):
+                child_tid = tid + (i,)
+                threads[child_tid] = [child_tid, entry, "r", 0]
+        elif op is Op.END_THREAD or op is Op.HALT:
+            del threads[tid]
+            if op is Op.END_THREAD:
+                parent = threads[tid[:-1]]
+                parent[3] -= 1
+                if parent[3] == 0:
+                    parent[2] = "r"
+        else:  # pragma: no cover - defensive
+            raise VMError(f"unknown instruction {instr!r}")
+
+        new_threads = tuple(
+            tuple(threads[k]) for k in sorted(threads.keys())
+        )
+        new_memory = tuple(sorted((k, v) for k, v in memory.items() if v != 0))
+        new_locks = tuple(sorted(locks.items()))
+        new_events = tuple(sorted(events))
+        return event, (new_threads, new_memory, new_locks, new_events)
+
+    # -- DFS with memoized suffixes ---------------------------------------------
+
+    def outcomes(self, state: tuple) -> frozenset:
+        cached = self.memo.get(state)
+        if cached is not None:
+            return cached
+        if state in self.gray:
+            return frozenset({(("livelock",),)})
+        threads = state[0]
+        if not threads:
+            result = frozenset({()})
+            self.memo[state] = result
+            return result
+        if len(self.memo) >= self.max_states:
+            self.truncated = True
+            return frozenset({(("truncated",),)})
+
+        self.gray.add(state)
+        runnable = self._runnable(state)
+        collected: set = set()
+        if not runnable:
+            collected.add((("deadlock",),))
+        else:
+            for index in runnable:
+                try:
+                    event, next_state = self._step(state, index)
+                except VMError as exc:
+                    collected.add((("error", str(exc)),))
+                    continue
+                suffixes = self.outcomes(next_state)
+                for suffix in suffixes:
+                    if event is None:
+                        collected.add(suffix)
+                    else:
+                        collected.add((event,) + suffix)
+        self.gray.remove(state)
+        result = frozenset(collected)
+        # Do not memoize across a truncation (partial results poison).
+        if not self.truncated:
+            self.memo[state] = result
+        return result
+
+
+def find_witness(
+    program: Union[VMProgram, ProgramIR],
+    outcome: tuple,
+    functions: Optional[Callable[[str, list[int]], int]] = None,
+    max_states: int = 200_000,
+) -> Optional[list[tuple]]:
+    """Find a schedule (list of thread ids, in step order) whose
+    observable outcome is exactly ``outcome``.
+
+    Used to turn an equivalence-check counterexample ("the transformed
+    program can print X") into a concrete replayable interleaving.
+    Returns ``None`` when no schedule produces the outcome within the
+    state budget.
+    """
+    if isinstance(program, ProgramIR):
+        program = compile_program(program)
+    explorer = _Explorer(program, functions or default_functions, max_states)
+
+    # Depth-first search over (state, produced-prefix) pairs.  The memo
+    # keyed by (state, remaining-suffix) bounds the search.
+    seen: set[tuple] = set()
+
+    def dfs(state: tuple, remaining: tuple, schedule: list) -> Optional[list]:
+        key = (state, remaining)
+        if key in seen or len(seen) > max_states:
+            return None
+        seen.add(key)
+        threads = state[0]
+        if not threads:
+            return list(schedule) if not remaining else None
+        runnable = explorer._runnable(state)
+        if not runnable:
+            # Terminal deadlock: matches only the deadlock marker.
+            if remaining == (("deadlock",),):
+                return list(schedule)
+            return None
+        for index in runnable:
+            tid = threads[index][0]
+            try:
+                event, next_state = explorer._step(state, index)
+            except VMError:
+                continue
+            if event is None:
+                next_remaining = remaining
+            elif remaining and remaining[0] == event:
+                next_remaining = remaining[1:]
+            else:
+                continue  # produced an event the outcome doesn't want
+            schedule.append(tid)
+            found = dfs(next_state, next_remaining, schedule)
+            if found is not None:
+                return found
+            schedule.pop()
+        return None
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 100_000))
+    try:
+        return dfs(explorer.initial_state(), tuple(outcome), [])
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+
+def explore(
+    program: Union[VMProgram, ProgramIR],
+    functions: Optional[Callable[[str, list[int]], int]] = None,
+    max_states: int = 200_000,
+) -> ExplorationResult:
+    """Enumerate every schedule of ``program``.
+
+    Intended for small programs (the state space is exponential in the
+    number of concurrent statements); ``max_states`` bounds the search
+    and marks the result incomplete when hit.
+    """
+    if isinstance(program, ProgramIR):
+        program = compile_program(program)
+    explorer = _Explorer(program, functions or default_functions, max_states)
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 100_000))
+    try:
+        outcomes = explorer.outcomes(explorer.initial_state())
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return ExplorationResult(
+        outcomes, states=len(explorer.memo), complete=not explorer.truncated
+    )

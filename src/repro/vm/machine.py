@@ -1,0 +1,289 @@
+"""The interleaving virtual machine (seeded random scheduler).
+
+Semantics:
+
+* one instruction executes atomically per step (statement-granularity
+  interleaving, the paper's memory model);
+* unset variables read as 0;
+* ``lock`` blocks while held by another thread (non-reentrant: a thread
+  re-acquiring its own lock self-deadlocks, as with a plain pthreads
+  mutex);
+* ``wait`` blocks until the event has been ``set`` (events are sticky:
+  Set with no Clear, as in the paper);
+* ``print`` and opaque call *statements* are the observable events of a
+  program; calls in expression position are pure and evaluated through a
+  deterministic binding (user-suppliable).
+
+Instrumentation: the machine counts, per lock, how many global steps it
+was held and how many steps threads spent blocked on it — the metrics
+the LICM benchmarks report.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, Union
+
+from repro.errors import DeadlockError, StepLimitExceeded, VMError
+from repro.ir.structured import ProgramIR
+from repro.opt.folding import eval_expr_concrete
+from repro.vm.bytecode import Instr, Op, VMProgram
+from repro.vm.compile import compile_program
+
+__all__ = ["Execution", "VirtualMachine", "default_functions", "run_random"]
+
+
+def default_functions(name: str, args: list[int]) -> int:
+    """Deterministic stand-in for opaque pure functions.
+
+    Any pure deterministic binding is semantically admissible (the
+    static analyses treat calls as unknown values); this one mixes the
+    name and arguments so different calls give different values.
+    """
+    acc = sum(ord(c) for c in name) * 131
+    for i, a in enumerate(args):
+        acc = acc * 31 + (i + 1) * a
+    return acc % 1009 - 504
+
+
+class _Thread:
+    __slots__ = ("tid", "pc", "status", "pending")
+
+    def __init__(self, tid: tuple, pc: int) -> None:
+        self.tid = tid
+        self.pc = pc
+        self.status = "run"  # "run" | "join" | "done"
+        self.pending = 0  # children still running (status == "join")
+
+
+class Execution:
+    """The observable result of one run."""
+
+    def __init__(self) -> None:
+        #: sequence of ("print", values) / ("call", name, values) events
+        self.events: list[tuple] = []
+        self.steps = 0
+        self.deadlocked = False
+        #: lock name → total global steps the lock was held
+        self.lock_held_steps: dict[str, int] = {}
+        #: lock name → total steps threads spent blocked on it
+        self.lock_blocked_steps: dict[str, int] = {}
+        #: lock name → number of successful acquisitions
+        self.lock_acquisitions: dict[str, int] = {}
+        #: final shared memory
+        self.memory: dict[str, int] = {}
+
+    @property
+    def printed(self) -> list[tuple]:
+        return [e[1] for e in self.events if e[0] == "print"]
+
+    def output_key(self) -> tuple:
+        """Canonical observable outcome (for set comparisons)."""
+        suffix: tuple = (("deadlock",),) if self.deadlocked else ()
+        return tuple(self.events) + suffix
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Execution(events={len(self.events)}, steps={self.steps})"
+
+
+class VirtualMachine:
+    """Runs a compiled program under a seeded random scheduler."""
+
+    def __init__(
+        self,
+        program: Union[VMProgram, ProgramIR],
+        seed: int = 0,
+        functions: Optional[Callable[[str, list[int]], int]] = None,
+        fuel: int = 1_000_000,
+    ) -> None:
+        if isinstance(program, ProgramIR):
+            program = compile_program(program)
+        self.program = program
+        self.rng = random.Random(seed)
+        self.functions = functions or default_functions
+        self.fuel = fuel
+
+        self.memory: dict[str, int] = {}
+        self.locks: dict[str, tuple] = {}  # lock name → owner tid
+        self.events_set: set[str] = set()
+        self.threads: dict[tuple, _Thread] = {}
+        main = _Thread((), self.program.entry)
+        self.threads[()] = main
+        self.execution = Execution()
+
+    # -- expression evaluation ----------------------------------------------
+
+    def _env(self, name: str) -> int:
+        return self.memory.get(name, 0)
+
+    def _eval(self, expr) -> int:
+        return eval_expr_concrete(expr, self._env, self.functions)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _is_runnable(self, thread: _Thread) -> bool:
+        if thread.status != "run":
+            return False
+        instr = self.program.instrs[thread.pc]
+        if instr.op is Op.LOCK:
+            return self.locks.get(instr.name) is None
+        if instr.op is Op.WAIT:
+            return instr.name in self.events_set
+        return True
+
+    def _alive(self) -> list[_Thread]:
+        return [t for t in self.threads.values() if t.status != "done"]
+
+    def run(self, raise_on_deadlock: bool = True) -> Execution:
+        """Execute to completion (or deadlock / fuel exhaustion)."""
+        ex = self.execution
+        while True:
+            alive = self._alive()
+            if not alive:
+                break
+            runnable = [t for t in alive if self._is_runnable(t)]
+            if not runnable:
+                blocked = {
+                    t.tid for t in alive if t.status in ("run", "barrier")
+                }
+                ex.deadlocked = True
+                if raise_on_deadlock:
+                    raise DeadlockError(blocked, self.locks)
+                break
+            if ex.steps >= self.fuel:
+                raise StepLimitExceeded(self.fuel)
+            thread = self.rng.choice(sorted(runnable, key=lambda t: t.tid))
+            self._account_lock_time(alive)
+            self._step(thread)
+            ex.steps += 1
+        ex.memory = dict(self.memory)
+        return ex
+
+    def _account_lock_time(self, alive: list[_Thread]) -> None:
+        ex = self.execution
+        for lock_name in self.locks:
+            ex.lock_held_steps[lock_name] = ex.lock_held_steps.get(lock_name, 0) + 1
+        for t in alive:
+            if t.status != "run":
+                continue
+            instr = self.program.instrs[t.pc]
+            if instr.op is Op.LOCK and self.locks.get(instr.name) is not None:
+                ex.lock_blocked_steps[instr.name] = (
+                    ex.lock_blocked_steps.get(instr.name, 0) + 1
+                )
+
+    # -- execution ---------------------------------------------------------------
+
+    def _step(self, thread: _Thread) -> None:
+        instr = self.program.instrs[thread.pc]
+        op = instr.op
+        if op is Op.ASSIGN:
+            self.memory[instr.name] = self._eval(instr.expr)
+            thread.pc += 1
+        elif op is Op.PRINT:
+            values = tuple(self._eval(e) for e in instr.exprs)
+            self.execution.events.append(("print", values))
+            thread.pc += 1
+        elif op is Op.CALL:
+            values = tuple(self._eval(e) for e in instr.exprs)
+            self.execution.events.append(("call", instr.name, values))
+            thread.pc += 1
+        elif op is Op.LOCK:
+            if self.locks.get(instr.name) is not None:  # pragma: no cover
+                raise VMError("scheduled a blocked lock acquire")
+            self.locks[instr.name] = thread.tid
+            ex = self.execution
+            ex.lock_acquisitions[instr.name] = (
+                ex.lock_acquisitions.get(instr.name, 0) + 1
+            )
+            thread.pc += 1
+        elif op is Op.UNLOCK:
+            owner = self.locks.get(instr.name)
+            if owner != thread.tid:
+                raise VMError(
+                    f"unlock({instr.name}) by {thread.tid} but owner is {owner}"
+                )
+            del self.locks[instr.name]
+            thread.pc += 1
+        elif op is Op.SET:
+            self.events_set.add(instr.name)
+            thread.pc += 1
+        elif op is Op.WAIT:
+            if instr.name not in self.events_set:  # pragma: no cover
+                raise VMError("scheduled a blocked wait")
+            thread.pc += 1
+        elif op is Op.BARRIER:
+            waiting = [
+                t for t in self.threads.values()
+                if t.status == "barrier"
+                and self.program.instrs[t.pc].op is Op.BARRIER
+                and self.program.instrs[t.pc].name == instr.name
+            ]
+            if len(waiting) + 1 >= (instr.target or 1):
+                for other in waiting:
+                    other.status = "run"
+                    other.pc += 1
+                thread.pc += 1
+            else:
+                thread.status = "barrier"
+        elif op is Op.JUMP:
+            thread.pc = instr.target
+        elif op is Op.BRANCH:
+            if self._eval(instr.expr) != 0:
+                thread.pc += 1
+            else:
+                thread.pc = instr.target
+        elif op is Op.COBEGIN:
+            thread.status = "join"
+            thread.pending = len(instr.entries)
+            thread.pc = instr.target
+            for i, entry in enumerate(instr.entries):
+                child = _Thread(thread.tid + (i,), entry)
+                self.threads[child.tid] = child
+        elif op is Op.END_THREAD:
+            thread.status = "done"
+            parent = self.threads[thread.tid[:-1]]
+            parent.pending -= 1
+            if parent.pending == 0:
+                parent.status = "run"
+        elif op is Op.HALT:
+            thread.status = "done"
+        else:  # pragma: no cover - defensive
+            raise VMError(f"unknown instruction {instr!r}")
+
+
+    def replay(self, schedule: list[tuple]) -> Execution:
+        """Execute a fixed schedule (list of thread ids per step).
+
+        Used together with :func:`repro.vm.explore.find_witness` to make
+        a specific interleaving reproducible.  Raises :class:`VMError`
+        when the schedule names a thread that does not exist or is not
+        runnable at that step.
+        """
+        ex = self.execution
+        for tid in schedule:
+            thread = self.threads.get(tuple(tid))
+            if thread is None:
+                raise VMError(f"schedule names unknown thread {tid!r}")
+            if not self._is_runnable(thread):
+                raise VMError(f"thread {tid!r} is not runnable at this step")
+            self._account_lock_time(self._alive())
+            self._step(thread)
+            ex.steps += 1
+        ex.memory = dict(self.memory)
+        ex.deadlocked = bool(self._alive()) and not any(
+            self._is_runnable(t) for t in self._alive()
+        )
+        return ex
+
+
+def run_random(
+    program: Union[VMProgram, ProgramIR],
+    seed: int = 0,
+    functions: Optional[Callable[[str, list[int]], int]] = None,
+    fuel: int = 1_000_000,
+    raise_on_deadlock: bool = True,
+) -> Execution:
+    """Compile (if needed) and run once under the given seed."""
+    vm = VirtualMachine(program, seed=seed, functions=functions, fuel=fuel)
+    return vm.run(raise_on_deadlock=raise_on_deadlock)

@@ -1,0 +1,165 @@
+"""Flow-graph construction tests."""
+
+from repro.cfg.blocks import NodeKind
+from repro.cfg.builder import build_flow_graph
+from repro.ir.stmts import SBranch
+from tests.conftest import build
+
+
+def graph_of(source):
+    return build_flow_graph(build(source))
+
+
+class TestLinear:
+    def test_empty_program(self):
+        g = graph_of("")
+        assert g.blocks[g.entry_id].kind is NodeKind.ENTRY
+        assert g.blocks[g.exit_id].kind is NodeKind.EXIT
+        g.validate()
+
+    def test_straightline_single_block(self):
+        g = graph_of("a = 1; b = 2; c = a + b;")
+        blocks = g.nodes_of_kind(NodeKind.BLOCK)
+        assert len(blocks) == 1
+        assert len(blocks[0].stmts) == 3
+
+    def test_statement_locations(self):
+        g = graph_of("a = 1; b = 2;")
+        ir_block = g.nodes_of_kind(NodeKind.BLOCK)[0]
+        for i, stmt in enumerate(ir_block.stmts):
+            assert g.location_of(stmt) == (ir_block.id, i)
+
+
+class TestSyncNodes:
+    def test_lock_unlock_get_own_nodes(self):
+        g = graph_of("lock(L); a = 1; unlock(L);")
+        locks = g.nodes_of_kind(NodeKind.LOCK)
+        unlocks = g.nodes_of_kind(NodeKind.UNLOCK)
+        assert len(locks) == 1 and len(unlocks) == 1
+        assert len(locks[0].stmts) == 1  # only the lock op itself
+
+    def test_set_wait_get_own_nodes(self):
+        g = graph_of("set(e); wait(e);")
+        assert len(g.nodes_of_kind(NodeKind.SET)) == 1
+        assert len(g.nodes_of_kind(NodeKind.WAIT)) == 1
+
+    def test_consecutive_locks(self):
+        g = graph_of("lock(A); lock(B); unlock(B); unlock(A);")
+        assert len(g.nodes_of_kind(NodeKind.LOCK)) == 2
+        assert len(g.nodes_of_kind(NodeKind.UNLOCK)) == 2
+
+
+class TestBranches:
+    def test_if_shape(self):
+        g = graph_of("if (a) { x = 1; } else { y = 2; } z = 3;")
+        branch_blocks = [
+            b for b in g.blocks if b.stmts and isinstance(b.stmts[-1], SBranch)
+        ]
+        assert len(branch_blocks) == 1
+        bb = branch_blocks[0]
+        assert len(bb.succs) == 2  # [true, false]
+
+    def test_if_true_false_edge_order(self):
+        g = graph_of("if (a) { x = 1; } else { y = 2; }")
+        bb = next(b for b in g.blocks if b.stmts and isinstance(b.stmts[-1], SBranch))
+        then_block = g.blocks[bb.succs[0]]
+        else_block = g.blocks[bb.succs[1]]
+        assert then_block.stmts[0].target == "x"
+        assert else_block.stmts[0].target == "y"
+
+    def test_empty_else_still_two_succs(self):
+        g = graph_of("if (a) { x = 1; }")
+        bb = next(b for b in g.blocks if b.stmts and isinstance(b.stmts[-1], SBranch))
+        assert len(bb.succs) == 2
+
+    def test_while_shape(self):
+        g = graph_of("while (i < 3) { i = i + 1; } print(i);")
+        header = next(
+            b for b in g.blocks if b.stmts and isinstance(b.stmts[-1], SBranch)
+        )
+        assert len(header.succs) == 2
+        assert len(header.preds) == 2  # entry + back edge
+        body_entry = g.blocks[header.succs[0]]
+        assert body_entry.stmts[0].target == "i"
+
+    def test_join_has_phi_anchor(self):
+        g = graph_of("if (a) { x = 1; } y = 2;")
+        joins = [b for b in g.blocks if b.phi_anchor is not None]
+        assert len(joins) == 1
+        assert joins[0].phi_anchor.kind == "after"
+
+
+class TestCobegin:
+    def test_cobegin_coend_nodes(self):
+        g = graph_of("cobegin begin a = 1; end begin b = 2; end coend")
+        cob = g.nodes_of_kind(NodeKind.COBEGIN)
+        coe = g.nodes_of_kind(NodeKind.COEND)
+        assert len(cob) == 1 and len(coe) == 1
+        assert len(cob[0].succs) == 2
+        assert len(coe[0].preds) == 2
+
+    def test_coend_pred_order_matches_threads(self):
+        g = graph_of("cobegin begin a = 1; end begin b = 2; end coend")
+        coe = g.nodes_of_kind(NodeKind.COEND)[0]
+        first = g.blocks[coe.preds[0]]
+        second = g.blocks[coe.preds[1]]
+        assert first.stmts[0].target == "a"
+        assert second.stmts[0].target == "b"
+
+    def test_thread_paths(self):
+        g = graph_of("cobegin begin a = 1; end begin b = 2; end coend c = 3;")
+        a_block = g.block_of(
+            next(s for s, _ in _stmts(g) if getattr(s, "target", None) == "a")
+        )
+        b_block = g.block_of(
+            next(s for s, _ in _stmts(g) if getattr(s, "target", None) == "b")
+        )
+        c_block = g.block_of(
+            next(s for s, _ in _stmts(g) if getattr(s, "target", None) == "c")
+        )
+        assert len(a_block.thread_path) == 1
+        assert len(b_block.thread_path) == 1
+        assert a_block.thread_path != b_block.thread_path
+        assert c_block.thread_path == ()
+
+    def test_nested_cobegin_paths(self):
+        g = graph_of(
+            """
+            cobegin
+            begin cobegin begin x = 1; end begin y = 2; end coend end
+            begin z = 3; end
+            coend
+            """
+        )
+        x_block = g.block_of(
+            next(s for s, _ in _stmts(g) if getattr(s, "target", None) == "x")
+        )
+        assert len(x_block.thread_path) == 2
+
+    def test_figure2_inventory(self, figure2):
+        g = build_flow_graph(figure2)
+        assert len(g.nodes_of_kind(NodeKind.LOCK)) == 2
+        assert len(g.nodes_of_kind(NodeKind.UNLOCK)) == 2
+        assert len(g.nodes_of_kind(NodeKind.COBEGIN)) == 1
+        assert len(g.nodes_of_kind(NodeKind.COEND)) == 1
+        g.validate()
+
+
+class TestRebuild:
+    def test_rebuild_after_ssa_places_phis_as_stmts(self, figure2):
+        from repro.cssame import build_cssame
+        from repro.ir.stmts import Phi, Pi
+
+        build_cssame(figure2, prune=False)
+        g2 = build_flow_graph(figure2)  # rebuild of an SSA-form tree
+        phis = [s for b in g2.blocks for s in b.stmts if isinstance(s, Phi)]
+        pis = [s for b in g2.blocks for s in b.stmts if isinstance(s, Pi)]
+        assert phis and pis
+        assert all(not b.phis for b in g2.blocks)  # as plain statements
+        g2.validate()
+
+
+def _stmts(g):
+    for block in g.blocks:
+        for stmt in block.stmts:
+            yield stmt, block

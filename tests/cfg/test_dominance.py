@@ -1,0 +1,142 @@
+"""Dominator / post-dominator computation."""
+
+from repro.cfg.builder import build_flow_graph
+from repro.cfg.dominance import (
+    check_single_exit,
+    compute_dominators,
+    compute_postdominators,
+    dominance_frontiers,
+    postdominance_frontiers,
+    verify_mutex_pair,
+)
+from repro.cfg.blocks import NodeKind
+from tests.conftest import build
+
+
+def graphs(source):
+    g = build_flow_graph(build(source))
+    return g, compute_dominators(g), compute_postdominators(g)
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self, figure2):
+        g = build_flow_graph(figure2)
+        dom = compute_dominators(g)
+        assert all(dom.dominates(g.entry_id, b.id) for b in g.blocks)
+
+    def test_exit_postdominates_everything(self, figure2):
+        g = build_flow_graph(figure2)
+        pdom = compute_postdominators(g)
+        assert all(pdom.dominates(g.exit_id, b.id) for b in g.blocks)
+
+    def test_self_domination_reflexive(self):
+        g, dom, _ = graphs("a = 1; if (a) { b = 2; }")
+        for b in g.blocks:
+            assert dom.dominates(b.id, b.id)
+
+    def test_branch_does_not_dominate_join_contents_onesided(self):
+        g, dom, _ = graphs("if (c) { x = 1; } else { y = 2; } z = 3;")
+        x_block = next(
+            b.id for b in g.blocks
+            if b.stmts and getattr(b.stmts[0], "target", None) == "x"
+        )
+        z_block = next(
+            b.id for b in g.blocks
+            if b.stmts and getattr(b.stmts[0], "target", None) == "z"
+        )
+        assert not dom.dominates(x_block, z_block)
+
+    def test_loop_header_dominates_body(self):
+        g, dom, _ = graphs("while (i < 2) { i = i + 1; }")
+        header = next(b.id for b in g.blocks if len(b.preds) == 2)
+        body = next(
+            b.id for b in g.blocks
+            if b.stmts and getattr(b.stmts[0], "target", None) == "i"
+        )
+        assert dom.strictly_dominates(header, body)
+
+    def test_idom_is_unique_strict_dominator_parent(self):
+        g, dom, _ = graphs("if (c) { x = 1; } y = 2;")
+        for b in g.blocks:
+            parent = dom.idom[b.id]
+            if parent is None:
+                continue
+            assert dom.strictly_dominates(parent, b.id)
+
+    def test_lock_dominates_unlock_in_figure2(self, figure2):
+        g = build_flow_graph(figure2)
+        dom = compute_dominators(g)
+        pdom = compute_postdominators(g)
+        locks = g.nodes_of_kind(NodeKind.LOCK)
+        unlocks = g.nodes_of_kind(NodeKind.UNLOCK)
+        # Each thread's lock/unlock pair satisfies Definition 3 cond. 2.
+        pairs = 0
+        for ln in locks:
+            for un in unlocks:
+                if verify_mutex_pair(dom, pdom, ln.id, un.id):
+                    pairs += 1
+        assert pairs == 2
+
+    def test_cross_thread_no_dominance(self, figure2):
+        g = build_flow_graph(figure2)
+        dom = compute_dominators(g)
+        locks = g.nodes_of_kind(NodeKind.LOCK)
+        assert not dom.dominates(locks[0].id, locks[1].id)
+        assert not dom.dominates(locks[1].id, locks[0].id)
+
+
+class TestFrontiers:
+    def test_if_frontier_is_join(self):
+        g, dom, _ = graphs("if (c) { x = 1; } y = 2;")
+        df = dominance_frontiers(g, dom)
+        x_block = next(
+            b.id for b in g.blocks
+            if b.stmts and getattr(b.stmts[0], "target", None) == "x"
+        )
+        join = next(
+            b.id for b in g.blocks
+            if b.stmts and getattr(b.stmts[0], "target", None) == "y"
+        )
+        assert df[x_block] == {join}
+
+    def test_loop_body_frontier_is_header(self):
+        g, dom, _ = graphs("while (i < 2) { i = i + 1; }")
+        df = dominance_frontiers(g, dom)
+        header = next(b.id for b in g.blocks if len(b.preds) == 2)
+        body = next(
+            b.id for b in g.blocks
+            if b.stmts and getattr(b.stmts[0], "target", None) == "i"
+        )
+        assert header in df[body]
+
+    def test_straightline_frontiers_empty(self):
+        g, dom, _ = graphs("a = 1; b = 2;")
+        df = dominance_frontiers(g, dom)
+        assert all(not f for f in df)
+
+    def test_postdominance_frontier_control_dependence(self):
+        g, _, pdom = graphs("if (c) { x = 1; } y = 2;")
+        pdf = postdominance_frontiers(g, pdom)
+        branch = next(
+            b.id for b in g.blocks if len(b.succs) == 2
+        )
+        x_block = next(
+            b.id for b in g.blocks
+            if b.stmts and getattr(b.stmts[0], "target", None) == "x"
+        )
+        y_block = next(
+            b.id for b in g.blocks
+            if b.stmts and getattr(b.stmts[0], "target", None) == "y"
+        )
+        assert branch in pdf[x_block]  # x is control dependent on branch
+        assert branch not in pdf[y_block]  # y executes either way
+
+
+class TestSingleExit:
+    def test_all_programs_reach_exit(self, figure2):
+        g = build_flow_graph(figure2)
+        check_single_exit(g)
+
+    def test_loops_reach_exit(self):
+        g, _, _ = graphs("while (1) { x = 1; } y = 2;")
+        check_single_exit(g)  # syntactic exit edge always exists

@@ -1,0 +1,79 @@
+"""FlowGraph container internals."""
+
+import pytest
+
+from repro.cfg.blocks import NodeKind
+from repro.cfg.builder import build_flow_graph
+from repro.cfg.graph import FlowGraph
+from repro.errors import CFGError
+from repro.ir.expr import EConst
+from repro.ir.stmts import SAssign
+from tests.conftest import build
+
+
+class TestQueries:
+    def test_block_of_unknown_statement(self, figure2):
+        g = build_flow_graph(figure2)
+        stray = SAssign("q", EConst(1))
+        with pytest.raises(CFGError):
+            g.block_of(stray)
+        assert not g.contains_stmt(stray)
+
+    def test_reindex_after_mutation(self, figure2):
+        g = build_flow_graph(figure2)
+        block = g.nodes_of_kind(NodeKind.BLOCK)[0]
+        new_stmt = SAssign("fresh", EConst(7))
+        block.stmts.insert(0, new_stmt)
+        g.reindex_statements()
+        assert g.location_of(new_stmt) == (block.id, 0)
+
+    def test_reverse_postorder_starts_at_entry(self, figure2):
+        g = build_flow_graph(figure2)
+        order = g.reverse_postorder()
+        assert order[0] == g.entry_id
+        assert set(order) == {b.id for b in g.blocks}
+
+    def test_rpo_respects_edges_in_dags(self):
+        g = build_flow_graph(build("a = 1; if (a) { b = 2; } c = 3;"))
+        order = g.reverse_postorder()
+        position = {b: i for i, b in enumerate(order)}
+        # In a DAG region, every edge goes forward in RPO except back
+        # edges (none here).
+        for block in g.blocks:
+            for succ in block.succs:
+                assert position[block.id] < position[succ]
+
+
+class TestValidate:
+    def test_broken_backlink_detected(self, figure2):
+        g = build_flow_graph(figure2)
+        g.blocks[g.entry_id].succs.append(g.exit_id)  # no matching pred
+        with pytest.raises(CFGError):
+            g.validate()
+
+    def test_entry_with_pred_detected(self, figure2):
+        g = build_flow_graph(figure2)
+        g.add_edge(g.exit_id, g.entry_id)
+        with pytest.raises(CFGError):
+            g.validate()
+
+    def test_fresh_graph_missing_entry(self):
+        g = FlowGraph()
+        with pytest.raises(CFGError):
+            g.validate()
+
+
+class TestBlockHelpers:
+    def test_labels(self, figure2):
+        g = build_flow_graph(figure2)
+        assert g.entry.label().endswith("[entry]")
+        empty = next(
+            b for b in g.blocks
+            if b.kind is NodeKind.BLOCK and not b.stmts
+        )
+        assert "(empty)" in empty.label()
+
+    def test_thread_map(self, figure2):
+        g = build_flow_graph(figure2)
+        lock = g.nodes_of_kind(NodeKind.LOCK)[0]
+        assert len(lock.thread_map) == 1

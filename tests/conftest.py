@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.lower import lower_program
+from repro.ir.structured import ProgramIR
+from repro.lang.parser import parse
+
+FIGURE2_SOURCE = """
+a = 0;
+b = 0;
+cobegin
+T0: begin
+    lock(L);
+    a = 5;
+    b = a + 3;
+    if (b > 4) {
+        a = a + b;
+    }
+    x = a;
+    unlock(L);
+end
+T1: begin
+    lock(L);
+    a = b + 6;
+    y = a;
+    unlock(L);
+end
+coend
+print(x);
+print(y);
+"""
+
+FIGURE1_SOURCE = """
+a = 1;
+b = 2;
+cobegin
+T0: begin
+    lock(L);
+    a = a + b;
+    unlock(L);
+end
+T1: begin
+    f(a);
+    lock(L);
+    a = 3;
+    b = b + g(a);
+    unlock(L);
+end
+coend
+print(a, b);
+"""
+
+
+def build(source: str) -> ProgramIR:
+    """Parse + lower a source string."""
+    return lower_program(parse(source))
+
+
+@pytest.fixture
+def figure2() -> ProgramIR:
+    return build(FIGURE2_SOURCE)
+
+
+@pytest.fixture
+def figure1() -> ProgramIR:
+    return build(FIGURE1_SOURCE)
+
+
+@pytest.fixture
+def figure2_source() -> str:
+    return FIGURE2_SOURCE

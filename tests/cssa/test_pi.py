@@ -1,0 +1,135 @@
+"""π-term placement (CSSA)."""
+
+from repro.cssa import build_cssa
+from repro.ir.stmts import Phi, Pi, SAssign, SBranch, SPrint
+from repro.ir.structured import iter_statements
+from tests.conftest import build
+
+
+def pis(program):
+    return [s for s, _ in iter_statements(program) if isinstance(s, Pi)]
+
+
+class TestPlacement:
+    def test_figure2_pi_count(self, figure2):
+        form = build_cssa(figure2)
+        assert len(form.pis) == 5  # ta1, ta11, ta(x), tb0, ta4 — Fig. 3a
+
+    def test_pi_before_each_conflicting_use(self, figure2):
+        build_cssa(figure2)
+        # T1's use of b gets π(b0, b1): control + one conflict arg.
+        tb = next(p for p in pis(figure2) if p.var_name == "b")
+        assert tb.control.ssa_name == "b0"
+        assert [v.ssa_name for v in tb.conflicts] == ["b1"]
+
+    def test_conflict_args_are_real_defs_only(self, figure2):
+        build_cssa(figure2)
+        # T1's π for a lists a1 and a2 but not the φ a3 (Fig. 3a).
+        ta = next(
+            p for p in pis(figure2)
+            if p.var_name == "a" and len(p.conflicts) == 2
+        )
+        names = {v.ssa_name for v in ta.conflicts}
+        assert names == {"a1", "a2"}
+        assert all(isinstance(v.def_site, SAssign) for v in ta.conflicts)
+
+    def test_use_rewritten_to_temp(self, figure2):
+        build_cssa(figure2)
+        pi = pis(figure2)[0]
+        body = pi.parent
+        idx = body.index(pi)
+        consumer = body.items[idx + 1]
+        assert any(u.name == pi.target for u in consumer.uses())
+
+    def test_no_pi_without_concurrency(self):
+        program = build("a = 1; b = a; print(b);")
+        form = build_cssa(program)
+        assert form.pis == []
+
+    def test_no_pi_for_unshared_vars(self):
+        program = build(
+            "cobegin begin a = 1; a = a + 1; end begin b = 2; end coend"
+        )
+        form = build_cssa(program)
+        assert form.pis == []
+
+    def test_pi_on_branch_condition(self):
+        program = build(
+            """
+            v = 0;
+            cobegin
+            begin if (v > 0) { x = 1; } end
+            begin v = 5; end
+            coend
+            print(x);
+            """
+        )
+        form = build_cssa(program)
+        assert len(form.pis) == 1
+        pi = form.pis[0]
+        # The π lands before the if region in the thread body.
+        body = pi.parent
+        from repro.ir.structured import IfRegion
+
+        idx = body.index(pi)
+        assert isinstance(body.items[idx + 1], IfRegion)
+
+    def test_pi_on_loop_condition_goes_to_header(self):
+        program = build(
+            """
+            v = 0;
+            cobegin
+            begin
+                private i = 0;
+                while (i < v) { i = i + 1; }
+            end
+            begin v = 3; end
+            coend
+            """
+        )
+        form = build_cssa(program)
+        v_pis = [p for p in form.pis if p.var_name == "v"]
+        assert len(v_pis) == 1
+        from repro.ir.structured import WhileRegion
+
+        assert isinstance(v_pis[0].parent, WhileRegion)
+
+    def test_one_pi_per_stmt_per_var(self):
+        program = build(
+            """
+            v = 0;
+            cobegin
+            begin x = v + v * v; end
+            begin v = 1; end
+            coend
+            print(x);
+            """
+        )
+        form = build_cssa(program)
+        assert len(form.pis) == 1
+        x_assign = next(
+            s for s, _ in iter_statements(program)
+            if isinstance(s, SAssign) and s.target == "x"
+        )
+        temps = {u.name for u in x_assign.uses()}
+        assert temps == {form.pis[0].target}
+
+    def test_phi_args_not_pi_protected(self, figure2):
+        build_cssa(figure2)
+        for stmt, _ in iter_statements(figure2):
+            if isinstance(stmt, Phi):
+                for arg in stmt.args:
+                    assert not isinstance(arg.var.def_site, Pi)
+
+    def test_temp_naming_mimics_paper(self, figure2):
+        form = build_cssa(figure2)
+        names = {p.target for p in form.pis}
+        assert "ta1" in names  # π with control argument a1
+        assert "tb0" in names
+
+    def test_pi_uses_cover_control_and_conflicts(self, figure2):
+        build_cssa(figure2)
+        for pi in pis(figure2):
+            uses = list(pi.uses())
+            assert uses[0] is pi.control
+            assert len(uses) == 1 + len(pi.conflicts)

@@ -1,0 +1,101 @@
+"""Upward exposure and reaches-exit analyses (Theorems 1–2 machinery)."""
+
+from repro.cfg.builder import build_flow_graph
+from repro.cssame.exposure import BodyDataflow
+from repro.ir.stmts import SAssign
+from repro.mutex.identify import identify_mutex_structures
+from tests.conftest import build
+
+
+def setup(source, lock="L"):
+    program = build(source)
+    graph = build_flow_graph(program)
+    structures = identify_mutex_structures(graph)
+    (body,) = structures[lock].bodies
+    return program, graph, BodyDataflow(graph, body)
+
+
+def loc(graph, target, occurrence=0):
+    found = []
+    for block in graph.blocks:
+        for i, s in enumerate(block.stmts):
+            if isinstance(s, SAssign) and s.target == target:
+                found.append((block.id, i))
+    return found[occurrence]
+
+
+class TestUpwardExposure:
+    def test_use_after_def_not_exposed(self):
+        _, g, df = setup("lock(L); v = 1; x = v; unlock(L);")
+        block, idx = loc(g, "x")
+        assert not df.upward_exposed("v", block, idx)
+
+    def test_use_without_def_exposed(self):
+        _, g, df = setup("lock(L); x = v; unlock(L);")
+        block, idx = loc(g, "x")
+        assert df.upward_exposed("v", block, idx)
+
+    def test_conditional_def_leaves_exposure(self):
+        _, g, df = setup(
+            "lock(L); if (c) { v = 1; } x = v; unlock(L);"
+        )
+        block, idx = loc(g, "x")
+        assert df.upward_exposed("v", block, idx)
+
+    def test_def_on_both_arms_kills_exposure(self):
+        _, g, df = setup(
+            "lock(L); if (c) { v = 1; } else { v = 2; } x = v; unlock(L);"
+        )
+        block, idx = loc(g, "x")
+        assert not df.upward_exposed("v", block, idx)
+
+    def test_def_in_loop_body_leaves_exposure(self):
+        # The loop may run zero times.
+        _, g, df = setup(
+            "lock(L); while (c) { v = 1; } x = v; unlock(L);"
+        )
+        block, idx = loc(g, "x")
+        assert df.upward_exposed("v", block, idx)
+
+    def test_def_later_in_same_block_still_exposed(self):
+        _, g, df = setup("lock(L); x = v; v = 1; unlock(L);")
+        block, idx = loc(g, "x")
+        assert df.upward_exposed("v", block, idx)
+
+
+class TestReachesExit:
+    def test_last_def_reaches(self):
+        _, g, df = setup("lock(L); v = 1; unlock(L);")
+        block, idx = loc(g, "v")
+        assert df.reaches_exit("v", block, idx)
+
+    def test_killed_def_does_not_reach(self):
+        _, g, df = setup("lock(L); v = 1; v = 2; unlock(L);")
+        block, idx = loc(g, "v", occurrence=0)
+        assert not df.reaches_exit("v", block, idx)
+        block, idx = loc(g, "v", occurrence=1)
+        assert df.reaches_exit("v", block, idx)
+
+    def test_conditional_kill_still_reaches(self):
+        _, g, df = setup(
+            "lock(L); v = 1; if (c) { v = 2; } unlock(L);"
+        )
+        block, idx = loc(g, "v", occurrence=0)
+        assert df.reaches_exit("v", block, idx)  # the else path
+
+    def test_kill_on_both_arms_blocks(self):
+        _, g, df = setup(
+            "lock(L); v = 1; if (c) { v = 2; } else { v = 3; } unlock(L);"
+        )
+        block, idx = loc(g, "v", occurrence=0)
+        assert not df.reaches_exit("v", block, idx)
+
+    def test_def_inside_branch_reaches(self):
+        _, g, df = setup("lock(L); if (c) { v = 1; } unlock(L);")
+        block, idx = loc(g, "v")
+        assert df.reaches_exit("v", block, idx)
+
+    def test_other_variable_defs_irrelevant(self):
+        _, g, df = setup("lock(L); v = 1; w = 2; unlock(L);")
+        block, idx = loc(g, "v")
+        assert df.reaches_exit("v", block, idx)

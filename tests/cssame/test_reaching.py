@@ -1,0 +1,108 @@
+"""Algorithm A.4 — parallel reaching definitions."""
+
+from repro.cssame import build_cssame, parallel_reaching_definitions
+from repro.ir.stmts import SAssign, SPrint
+from repro.ir.structured import iter_statements
+from repro.ssa.names import EntryDef
+from tests.conftest import build
+
+
+def assign(program, name, version):
+    return next(
+        s for s, _ in iter_statements(program)
+        if isinstance(s, SAssign) and s.target == name and s.version == version
+    )
+
+
+class TestSequentialChains:
+    def test_direct_def(self):
+        program = build("a = 1; b = a;")
+        build_cssame(program)
+        info = parallel_reaching_definitions(program)
+        b = assign(program, "b", 0)
+        use = next(b.uses())
+        assert info.defs(use) == [assign(program, "a", 0)]
+
+    def test_through_phi(self):
+        program = build("a = 1; if (c) { a = 2; } b = a;")
+        build_cssame(program)
+        info = parallel_reaching_definitions(program)
+        use = next(assign(program, "b", 0).uses())
+        defs = info.defs(use)
+        assert set(defs) == {assign(program, "a", 0), assign(program, "a", 1)}
+
+    def test_entry_def_counted(self):
+        program = build("b = a;")
+        build_cssame(program)
+        info = parallel_reaching_definitions(program)
+        use = next(assign(program, "b", 0).uses())
+        (d,) = info.defs(use)
+        assert isinstance(d, EntryDef)
+
+
+class TestConcurrentChains:
+    def test_through_pi(self):
+        program = build(
+            """
+            v = 0;
+            cobegin
+            begin x = v; end
+            begin v = 7; end
+            coend
+            print(x);
+            """
+        )
+        build_cssame(program)
+        info = parallel_reaching_definitions(program)
+        use = next(assign(program, "x", 0).uses())
+        defs = info.defs(use)
+        # Both the sequential v0 and the concurrent v1 may reach.
+        assert set(defs) == {assign(program, "v", 0), assign(program, "v", 1)}
+
+    def test_figure1_killed_def(self, figure1):
+        # Paper's Figure 1 claim: T0's a = a + b cannot reach the second
+        # use of a in T1 (g(a) always sees a = 3).
+        build_cssame(figure1)
+        info = parallel_reaching_definitions(figure1)
+        b_update = next(
+            s for s, _ in iter_statements(figure1)
+            if isinstance(s, SAssign) and s.target == "b" and s.version == 1
+        )
+        # The use of a inside g(a):
+        a_uses = [u for u in b_update.uses() if "a" in u.name or u.name.startswith("ta")]
+        info_defs = set()
+        for u in b_update.uses():
+            for d in info.defs(u):
+                if getattr(d, "target", None) == "a" or (
+                    isinstance(d, EntryDef) and d.name == "a"
+                ):
+                    info_defs.add(d)
+        a3_def = assign(figure1, "a", 2)  # a = 3 in T1
+        a_t0_def = assign(figure1, "a", 1)  # a = a + b in T0
+        assert a3_def in info_defs
+        assert a_t0_def not in info_defs
+
+    def test_reverse_map(self):
+        program = build(
+            """
+            v = 0;
+            cobegin
+            begin x = v; end
+            begin v = 7; end
+            coend
+            print(x);
+            """
+        )
+        build_cssame(program)
+        info = parallel_reaching_definitions(program)
+        v1 = assign(program, "v", 1)
+        reached = info.reached_stmts(v1)
+        assert any(isinstance(s, SAssign) and s.target == "x" for s in reached)
+
+    def test_marked_prevents_duplicates(self):
+        program = build("a = 1; b = a + a;")
+        build_cssame(program)
+        info = parallel_reaching_definitions(program)
+        b = assign(program, "b", 0)
+        for use in b.uses():
+            assert len(info.defs(use)) == 1

@@ -1,0 +1,185 @@
+"""Algorithm A.3 — π rewriting with mutual exclusion."""
+
+from repro.cssame import build_cssame
+from repro.ir.stmts import Pi
+from repro.ir.structured import iter_statements
+from tests.conftest import build
+
+
+def pis(program):
+    return [s for s, _ in iter_statements(program) if isinstance(s, Pi)]
+
+
+class TestFigure3:
+    def test_figure2_reduction(self, figure2):
+        form = build_cssame(figure2)
+        stats = form.rewrite_stats
+        assert stats.pis_before == 5
+        assert stats.pis_after == 1
+        remaining = pis(figure2)
+        assert len(remaining) == 1
+        assert remaining[0].var_name == "b"  # tb0 = π(b0, b1)
+        assert [v.ssa_name for v in remaining[0].conflicts] == ["b1"]
+
+    def test_deleted_pi_uses_redirected(self, figure2):
+        build_cssame(figure2)
+        # b1 = a1 + 3 again (the π temp is gone).
+        from repro.ir.stmts import SAssign
+
+        b1 = next(
+            s for s, _ in iter_statements(figure2)
+            if isinstance(s, SAssign) and s.target == "b" and s.version == 1
+        )
+        use = next(b1.uses())
+        assert use.ssa_name == "a1"
+        assert isinstance(use.def_site, SAssign)
+
+
+class TestTheorem1:
+    def test_killed_def_argument_removed(self):
+        # T0's v=1 never escapes its body (killed by v=2), so T1's use
+        # loses that argument even though it IS upward exposed there.
+        program = build(
+            """
+            v = 0;
+            cobegin
+            begin lock(L); v = 1; v = 2; unlock(L); end
+            begin lock(L); x = v; unlock(L); end
+            coend
+            print(x);
+            """
+        )
+        form = build_cssame(program)
+        x_pi = next(p for p in pis(program) if p.var_name == "v")
+        names = {c.ssa_name for c in x_pi.conflicts}
+        assert "v1" not in names  # killed inside the body
+        assert "v2" in names      # escapes the body
+
+    def test_conditionally_killed_def_kept(self):
+        program = build(
+            """
+            v = 0;
+            cobegin
+            begin lock(L); v = 1; if (c) { v = 2; } unlock(L); end
+            begin lock(L); x = v; unlock(L); end
+            coend
+            print(x);
+            """
+        )
+        build_cssame(program)
+        x_pi = next(p for p in pis(program) if p.var_name == "v")
+        names = {c.ssa_name for c in x_pi.conflicts}
+        assert {"v1", "v2"} <= names
+
+
+class TestTheorem2:
+    def test_protected_use_after_kill_loses_args(self):
+        program = build(
+            """
+            v = 0;
+            cobegin
+            begin lock(L); v = 1; x = v; unlock(L); end
+            begin lock(L); v = 5; unlock(L); end
+            coend
+            print(x);
+            """
+        )
+        form = build_cssame(program)
+        # x = v is not upward-exposed (v = 1 precedes it), so T1's def
+        # is removed and the π disappears.
+        assert form.rewrite_stats.pis_after == 0
+
+    def test_upward_exposed_use_keeps_args(self):
+        program = build(
+            """
+            v = 0;
+            cobegin
+            begin lock(L); x = v; unlock(L); end
+            begin lock(L); v = 5; unlock(L); end
+            coend
+            print(x);
+            """
+        )
+        form = build_cssame(program)
+        assert form.rewrite_stats.pis_after == 1
+
+
+class TestScopeOfTheorems:
+    def test_unprotected_def_argument_kept(self):
+        # The conflicting def is outside any mutex body: no reduction.
+        program = build(
+            """
+            v = 0;
+            cobegin
+            begin lock(L); v = 1; x = v; unlock(L); end
+            begin v = 7; end
+            coend
+            print(x);
+            """
+        )
+        build_cssame(program)
+        x_pi = next(p for p in pis(program) if p.var_name == "v")
+        assert {c.ssa_name for c in x_pi.conflicts} == {"v2"}
+
+    def test_different_lock_argument_kept(self):
+        program = build(
+            """
+            v = 0;
+            cobegin
+            begin lock(A); v = 1; x = v; unlock(A); end
+            begin lock(B); v = 7; unlock(B); end
+            coend
+            print(x);
+            """
+        )
+        build_cssame(program)
+        x_pi = next(p for p in pis(program) if p.var_name == "v")
+        assert len(x_pi.conflicts) == 1  # B's def survives
+
+    def test_same_body_spanning_cobegin_kept(self):
+        # A single body containing a whole cobegin: the two threads
+        # conflict inside ONE body — theorems don't apply.
+        program = build(
+            """
+            v = 0;
+            lock(L);
+            cobegin
+            begin v = 1; end
+            begin x = v; end
+            coend
+            unlock(L);
+            print(x);
+            """
+        )
+        form = build_cssame(program)
+        assert form.rewrite_stats.pis_after == 1
+        assert form.rewrite_stats.args_removed == 0
+
+    def test_unmatched_lock_conservative(self):
+        # Ill-formed synchronization → no mutex bodies → no pruning.
+        program = build(
+            """
+            v = 0;
+            cobegin
+            begin lock(L); v = 1; x = v; end
+            begin lock(L); v = 5; unlock(L); end
+            coend
+            print(x);
+            """
+        )
+        form = build_cssame(program)
+        assert form.rewrite_stats.args_removed == 0
+
+
+class TestStats:
+    def test_args_accounting(self, figure2):
+        form = build_cssame(figure2)
+        s = form.rewrite_stats
+        assert s.args_before == 6   # Fig. 3a: 1+1+1+1+2 conflict args
+        assert s.args_after == 1    # Fig. 3b: tb0's single conflict arg
+        assert s.pis_deleted == 4
+
+    def test_prune_false_leaves_everything(self, figure2):
+        form = build_cssame(figure2, prune=False)
+        assert form.rewrite_stats is None
+        assert len(pis(figure2)) == 5

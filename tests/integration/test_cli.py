@@ -1,0 +1,160 @@
+"""Command-line driver tests."""
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import FIGURE2_SOURCE
+
+
+@pytest.fixture
+def fig2_file(tmp_path):
+    path = tmp_path / "fig2.par"
+    path.write_text(FIGURE2_SOURCE)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_cssame_listing(self, fig2_file, capsys):
+        assert main(["analyze", fig2_file]) == 0
+        out = capsys.readouterr().out
+        assert "tb0 = pi(b0, b1);" in out
+        assert "// pi terms: 1" in out
+        assert "// mutex bodies: 2" in out
+
+    def test_cssa_mode(self, fig2_file, capsys):
+        assert main(["analyze", "--cssa", fig2_file]) == 0
+        out = capsys.readouterr().out
+        assert "// pi terms: 5" in out
+
+
+class TestOptimize:
+    def test_final_listing(self, fig2_file, capsys):
+        assert main(["optimize", fig2_file]) == 0
+        out = capsys.readouterr().out
+        assert "b1 = 8;" in out
+        assert "// constants:" in out
+
+    def test_phases(self, fig2_file, capsys):
+        assert main(["optimize", "--phases", "--keep-prints", fig2_file]) == 0
+        out = capsys.readouterr().out
+        assert "// ---- after constprop ----" in out
+        assert "x0 = 13;" in out
+
+
+class TestDiagnose:
+    def test_clean(self, fig2_file, capsys):
+        assert main(["diagnose", fig2_file]) == 0
+        assert "no synchronization problems" in capsys.readouterr().out
+
+    def test_racy(self, tmp_path, capsys):
+        path = tmp_path / "racy.par"
+        path.write_text(
+            "cobegin begin v = 1; end begin v = 2; end coend print(v);"
+        )
+        assert main(["diagnose", str(path)]) == 1
+        assert "race:" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_prints_output(self, fig2_file, capsys):
+        assert main(["run", "--seed", "3", fig2_file]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "13"
+
+    def test_deadlock_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "dead.par"
+        path.write_text("wait(never);")
+        assert main(["run", str(path)]) == 2
+
+    def test_stats(self, fig2_file, capsys):
+        assert main(["run", "--stats", fig2_file]) == 0
+        err = capsys.readouterr().err
+        assert "// steps:" in err
+        assert "lock L" in err
+
+
+class TestExplore:
+    def test_outcome_enumeration(self, fig2_file, capsys):
+        assert main(["explore", fig2_file]) == 0
+        out = capsys.readouterr().out
+        assert "print 13 | print 6" in out
+        assert "print 13 | print 14" in out
+        assert "// 2 behaviour(s)" in out
+
+    def test_deadlock_detection(self, tmp_path, capsys):
+        path = tmp_path / "dead.par"
+        path.write_text(
+            """
+            cobegin
+            begin lock(A); lock(B); unlock(B); unlock(A); end
+            begin lock(B); lock(A); unlock(A); unlock(B); end
+            coend
+            """
+        )
+        assert main(["explore", str(path)]) == 2
+        assert "DEADLOCK" in capsys.readouterr().out
+
+    def test_optimized_exploration(self, fig2_file, capsys):
+        assert main(["explore", "--optimize", fig2_file]) == 0
+        out = capsys.readouterr().out
+        assert "// 2 behaviour(s)" in out
+
+
+class TestDot:
+    def test_dot_output(self, fig2_file, capsys):
+        assert main(["dot", fig2_file]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+
+class TestWitness:
+    def test_witness_for_lost_update(self, tmp_path, capsys):
+        path = tmp_path / "racy.par"
+        path.write_text(
+            """
+            x = 0;
+            cobegin
+            begin t1 = x; x = t1 + 1; end
+            begin t2 = x; x = t2 + 1; end
+            coend
+            print(x);
+            """
+        )
+        assert main(["witness", str(path), "1"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule (thread ids in step order):" in out
+        assert "deadlocked=False" in out
+
+    def test_witness_deadlock(self, tmp_path, capsys):
+        path = tmp_path / "dead.par"
+        path.write_text(
+            """
+            cobegin
+            begin lock(A); lock(B); unlock(B); unlock(A); end
+            begin lock(B); lock(A); unlock(A); unlock(B); end
+            coend
+            """
+        )
+        assert main(["witness", "--deadlock", str(path)]) == 0
+        assert "deadlocked=True" in capsys.readouterr().out
+
+    def test_witness_impossible(self, fig2_file, capsys):
+        assert main(["witness", fig2_file, "999"]) == 1
+        assert "no schedule" in capsys.readouterr().err
+
+
+class TestErrors:
+    def test_parse_error_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.par"
+        path.write_text("x = ;")
+        assert main(["analyze", str(path)]) == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent/file.par"]) == 3
+
+    def test_stdin_input(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("print(1);"))
+        assert main(["run", "-"]) == 0
+        assert capsys.readouterr().out.strip() == "1"

@@ -1,0 +1,77 @@
+"""IR expression utilities."""
+
+from repro.ir.expr import (
+    EBin,
+    ECall,
+    EConst,
+    EUn,
+    EVar,
+    clone_expr,
+    expr_to_str,
+    iter_expr_vars,
+    map_expr_vars,
+    substitute_vars,
+)
+
+
+def sample():
+    # (a + b) * g(c, 2) - !d
+    return EBin(
+        "-",
+        EBin("*", EBin("+", EVar("a"), EVar("b")), ECall("g", [EVar("c"), EConst(2)])),
+        EUn("!", EVar("d")),
+    )
+
+
+class TestIterVars:
+    def test_collects_all_vars_in_order(self):
+        names = [v.name for v in iter_expr_vars(sample())]
+        assert names == ["a", "b", "c", "d"]
+
+    def test_const_has_no_vars(self):
+        assert list(iter_expr_vars(EConst(5))) == []
+
+
+class TestMapVars:
+    def test_identity_returns_same_nodes(self):
+        expr = sample()
+        assert map_expr_vars(expr, lambda v: v) is expr
+
+    def test_replacement(self):
+        expr = EBin("+", EVar("a"), EVar("b"))
+        out = map_expr_vars(expr, lambda v: EConst(1) if v.name == "a" else v)
+        assert expr_to_str(out) == "1 + b"
+
+    def test_substitute_none_keeps(self):
+        expr = EVar("a")
+        assert substitute_vars(expr, lambda v: None) is expr
+
+
+class TestClone:
+    def test_clone_is_deep(self):
+        expr = sample()
+        copy = clone_expr(expr)
+        assert copy is not expr
+        assert expr_to_str(copy) == expr_to_str(expr)
+        # Mutating the clone's EVar does not affect the original.
+        next(iter_expr_vars(copy)).name = "zz"
+        assert next(iter_expr_vars(expr)).name == "a"
+
+    def test_clone_preserves_ssa_info(self):
+        var = EVar("a", version=3, def_site="marker")
+        copy = clone_expr(var)
+        assert copy.version == 3 and copy.def_site == "marker"
+
+
+class TestDisplay:
+    def test_ssa_name(self):
+        assert EVar("a", 3).ssa_name == "a3"
+        assert EVar("a").ssa_name == "a"
+
+    def test_expr_to_str_minimal_parens(self):
+        assert expr_to_str(sample()) == "(a + b) * g(c, 2) - !d"
+
+    def test_same_ssa(self):
+        assert EVar("a", 1).same_ssa(EVar("a", 1))
+        assert not EVar("a", 1).same_ssa(EVar("a", 2))
+        assert not EVar("a", 1).same_ssa(EVar("b", 1))

@@ -1,0 +1,122 @@
+"""AST → structured IR lowering."""
+
+from repro.ir.lower import lower_program
+from repro.ir.printer import format_ir
+from repro.ir.stmts import (
+    SAssign,
+    SCallStmt,
+    SLock,
+    SPrint,
+    SSetEvent,
+    SSkip,
+    SUnlock,
+    SWaitEvent,
+)
+from repro.ir.structured import (
+    CobeginRegion,
+    IfRegion,
+    WhileRegion,
+    count_statements,
+    iter_statements,
+)
+from repro.lang.parser import parse
+
+from tests.conftest import build
+
+
+class TestBasicLowering:
+    def test_assignment(self):
+        ir = build("x = 1 + 2;")
+        (stmt,) = [s for s, _ in iter_statements(ir)]
+        assert isinstance(stmt, SAssign)
+        assert stmt.target == "x"
+
+    def test_statement_kinds(self):
+        ir = build("lock(L); unlock(L); set(e); wait(e); print(1); f(2); skip;")
+        kinds = [type(s) for s, _ in iter_statements(ir)]
+        assert kinds == [
+            SLock, SUnlock, SSetEvent, SWaitEvent, SPrint, SCallStmt, SSkip,
+        ]
+
+    def test_if_region(self):
+        ir = build("if (a) { x = 1; } else { y = 2; }")
+        region = ir.body.items[0]
+        assert isinstance(region, IfRegion)
+        assert len(region.then_body) == 1
+        assert len(region.else_body) == 1
+        assert region.branch.parent is region
+
+    def test_while_region(self):
+        ir = build("while (i < 3) { i = i + 1; }")
+        region = ir.body.items[0]
+        assert isinstance(region, WhileRegion)
+        assert len(region.body) == 1
+
+    def test_cobegin_region(self):
+        ir = build("cobegin T0: begin a = 1; end T1: begin b = 2; end coend")
+        region = ir.body.items[0]
+        assert isinstance(region, CobeginRegion)
+        assert [t.label for t in region.threads] == ["T0", "T1"]
+        assert region.threads[0].cobegin is region
+
+    def test_default_thread_labels(self):
+        ir = build("cobegin begin a = 1; end begin b = 2; end coend")
+        region = ir.body.items[0]
+        assert [t.label for t in region.threads] == ["T0", "T1"]
+
+
+class TestPrivateMangling:
+    def test_private_gets_unique_name(self):
+        ir = build(
+            """
+            cobegin
+            begin private t = 1; x = t; end
+            begin private t = 2; y = t; end
+            coend
+            """
+        )
+        assigns = [s for s, _ in iter_statements(ir) if isinstance(s, SAssign)]
+        t_names = {s.target for s in assigns if s.target.startswith("t__p")}
+        assert len(t_names) == 2  # two distinct mangled privates
+        # The uses resolve to the thread's own private.
+        x_assign = next(s for s in assigns if s.target == "x")
+        used = next(x_assign.uses())
+        assert used.name.startswith("t__p")
+
+    def test_private_without_init_zeroed(self):
+        ir = build("cobegin begin private p; x = p; end coend")
+        assigns = [s for s, _ in iter_statements(ir) if isinstance(s, SAssign)]
+        init = assigns[0]
+        assert init.target.startswith("p__p")
+
+    def test_outer_name_untouched(self):
+        ir = build("t = 5; cobegin begin private t = 1; end coend print(t);")
+        prints = [s for s, _ in iter_statements(ir) if isinstance(s, SPrint)]
+        used = next(prints[0].uses())
+        assert used.name == "t"  # outer t, not the private
+
+    def test_private_registered(self):
+        ir = build("cobegin begin private q = 1; end coend")
+        assert any(n.startswith("q__p") for n in ir.private_names)
+
+
+class TestStructure:
+    def test_count_statements(self, figure2):
+        # 2 inits + (lock, a, b, a, x, unlock) + (lock, a, y, unlock) + 2 prints
+        assert count_statements(figure2) == 14
+
+    def test_iter_includes_branches_optionally(self, figure2):
+        with_branches = sum(1 for _ in iter_statements(figure2, include_branches=True))
+        without = sum(1 for _ in iter_statements(figure2, include_branches=False))
+        assert with_branches == without + 1  # one if
+
+    def test_thread_path_in_context(self):
+        ir = build("cobegin begin a = 1; end begin b = 2; end coend")
+        paths = [ctx.thread_path for s, ctx in iter_statements(ir)]
+        assert len({p for p in paths}) == 2
+        assert all(len(p) == 1 for p in paths)
+
+    def test_format_after_lowering_reparses(self, figure2):
+        text = format_ir(figure2)
+        reparsed = lower_program(parse(text))
+        assert count_statements(reparsed) == count_statements(figure2)

@@ -1,0 +1,55 @@
+"""Structured-IR printer tests."""
+
+from repro.cssame import build_cssame
+from repro.ir.printer import format_ir
+from tests.conftest import build
+
+
+class TestPlainPrinting:
+    def test_simple_program(self):
+        text = format_ir(build("x = 1;\nprint(x);"))
+        assert text == "x = 1;\nprint(x);\n"
+
+    def test_if_else(self):
+        text = format_ir(build("if (a) { x = 1; } else { y = 2; }"))
+        assert "if (a) {" in text
+        assert "} else {" in text
+
+    def test_if_without_else_prints_no_else(self):
+        text = format_ir(build("if (a) { x = 1; }"))
+        assert "else" not in text
+
+    def test_while(self):
+        text = format_ir(build("while (i < 2) { i = i + 1; }"))
+        assert "while (i < 2) {" in text
+
+    def test_cobegin_with_labels(self):
+        text = format_ir(build("cobegin W: begin a = 1; end coend"))
+        assert "W: begin" in text
+        assert text.strip().endswith("coend")
+
+    def test_sync_ops(self):
+        text = format_ir(build("lock(L); unlock(L); set(e); wait(e);"))
+        for frag in ("lock(L);", "unlock(L);", "set(e);", "wait(e);"):
+            assert frag in text
+
+    def test_empty_program(self):
+        from repro.ir.structured import ProgramIR
+
+        assert format_ir(ProgramIR()) == ""
+
+
+class TestSSAPrinting:
+    def test_phi_and_pi_rendering(self, figure2):
+        build_cssame(figure2, prune=False)
+        text = format_ir(figure2)
+        assert "a3 = phi(a2, a1);" in text
+        assert "= pi(" in text
+        assert "a1 = 5;" in text  # SSA versions on assignments
+
+    def test_header_phi_rendering(self):
+        ir = build("i = 0; while (i < 3) { i = i + 1; } print(i);")
+        build_cssame(ir)
+        text = format_ir(ir)
+        assert "/* loop header */" in text
+        assert "phi(" in text

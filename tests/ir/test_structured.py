@@ -1,0 +1,147 @@
+"""Structured-IR container semantics: parent links, mutation, cloning."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.ir.expr import EConst, EVar
+from repro.ir.stmts import Phi, PhiArg, Pi, SAssign, SBranch
+from repro.ir.structured import (
+    Body,
+    IfRegion,
+    ProgramIR,
+    WhileRegion,
+    clone_program,
+    iter_statements,
+    remove_stmt,
+)
+from tests.conftest import build
+
+
+class TestBodyMutation:
+    def test_append_sets_parent(self):
+        body = Body()
+        stmt = SAssign("x", EConst(1))
+        body.append(stmt)
+        assert stmt.parent is body
+
+    def test_insert_before_after(self):
+        body = Body()
+        a, b, c = (SAssign(n, EConst(0)) for n in "abc")
+        body.append(b)
+        body.insert_before(b, a)
+        body.insert_after(b, c)
+        assert [s.target for s in body.items] == ["a", "b", "c"]
+
+    def test_remove_clears_parent(self):
+        body = Body()
+        stmt = SAssign("x", EConst(1))
+        body.append(stmt)
+        body.remove(stmt)
+        assert stmt.parent is None
+        assert len(body) == 0
+
+    def test_replace(self):
+        body = Body()
+        old = SAssign("x", EConst(1))
+        new1, new2 = SAssign("y", EConst(2)), SAssign("z", EConst(3))
+        body.append(old)
+        body.replace(old, [new1, new2])
+        assert [s.target for s in body.items] == ["y", "z"]
+        assert new1.parent is body and old.parent is None
+
+    def test_replace_with_empty(self):
+        body = Body()
+        old = SAssign("x", EConst(1))
+        body.append(old)
+        body.replace(old, [])
+        assert len(body) == 0
+
+    def test_index_of_missing_raises(self):
+        with pytest.raises(TransformError):
+            Body().index(SAssign("x", EConst(1)))
+
+    def test_identity_not_equality(self):
+        # Two equal-looking statements are distinct items.
+        body = Body()
+        a1 = SAssign("x", EConst(1))
+        a2 = SAssign("x", EConst(1))
+        body.append(a1)
+        body.append(a2)
+        assert body.index(a2) == 1
+
+
+class TestRemoveStmt:
+    def test_remove_from_body(self):
+        ir = build("x = 1; y = 2;")
+        stmt = ir.body.items[0]
+        remove_stmt(stmt)
+        assert len(ir.body) == 1
+
+    def test_remove_header_term(self):
+        branch = SBranch(EConst(1))
+        region = WhileRegion(branch)
+        phi = Phi("a", 1, [])
+        region.add_header_stmt(phi)
+        remove_stmt(phi)
+        assert region.header_phis == []
+
+    def test_cannot_remove_branch(self):
+        ir = build("if (a) { x = 1; }")
+        region = ir.body.items[0]
+        with pytest.raises(TransformError):
+            remove_stmt(region.branch)
+
+    def test_remove_detached_raises(self):
+        with pytest.raises(TransformError):
+            remove_stmt(SAssign("x", EConst(1)))
+
+
+class TestFreshNames:
+    def test_fresh_name_avoids_collisions(self):
+        program = ProgramIR()
+        program.register_name("t")
+        assert program.fresh_name("t") == "t1"
+        assert program.fresh_name("t") == "t2"
+        assert program.fresh_name("u") == "u"
+
+
+class TestCloneProgram:
+    def test_clone_is_disjoint(self, figure2):
+        copy = clone_program(figure2)
+        orig_ids = {id(s) for s, _ in iter_statements(figure2)}
+        copy_ids = {id(s) for s, _ in iter_statements(copy)}
+        assert orig_ids.isdisjoint(copy_ids)
+
+    def test_clone_preserves_listing(self, figure2):
+        from repro.ir.printer import format_ir
+
+        assert format_ir(clone_program(figure2)) == format_ir(figure2)
+
+    def test_clone_remaps_def_sites(self):
+        # Build a tiny SSA-ish program by hand: def + use linked.
+        program = ProgramIR()
+        d = SAssign("a", EConst(1), version=0)
+        use = EVar("a", 0, d)
+        u = SAssign("b", use, version=0)
+        program.body.append(d)
+        program.body.append(u)
+        copy = clone_program(program)
+        d2, u2 = copy.body.items
+        linked = next(u2.uses()).def_site
+        assert linked is d2  # remapped to the cloned def
+
+    def test_clone_full_ssa_form(self, figure2):
+        from repro.cssame import build_cssame
+        from repro.ir.printer import format_ir
+
+        build_cssame(figure2)
+        copy = clone_program(figure2)
+        assert format_ir(copy) == format_ir(figure2)
+        # Every use in the clone chains to a statement of the clone.
+        copy_stmts = {id(s) for s, _ in iter_statements(copy)}
+        from repro.ir.stmts import IRStmt
+
+        for stmt, _ in iter_statements(copy):
+            for use in stmt.uses():
+                if isinstance(use.def_site, IRStmt):
+                    assert id(use.def_site) in copy_stmts

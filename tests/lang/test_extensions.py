@@ -1,0 +1,192 @@
+"""Section 7 extensions: doall parallel loops and barriers."""
+
+import pytest
+
+from repro.api import front_end, listing
+from repro.errors import ParseError
+from repro.cfg.blocks import NodeKind
+from repro.cfg.builder import build_flow_graph
+from repro.ir.stmts import SBarrier
+from repro.ir.structured import CobeginRegion, iter_statements
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+from repro.lang.pretty import format_program
+from repro.vm.explore import explore
+from repro.vm.machine import run_random
+
+
+class TestDoallParsing:
+    def test_basic(self):
+        program = parse("doall i = 0 to 3 { a = i; }")
+        stmt = program.body.stmts[0]
+        assert isinstance(stmt, ast.DoAll)
+        assert (stmt.var, stmt.low, stmt.high) == ("i", 0, 3)
+
+    def test_negative_bounds(self):
+        stmt = parse("doall i = -2 to 2 { a = i; }").body.stmts[0]
+        assert (stmt.low, stmt.high) == (-2, 2)
+
+    def test_nonliteral_bounds_rejected(self):
+        with pytest.raises(ParseError):
+            parse("doall i = n to 3 { a = i; }")
+
+    def test_pretty_roundtrip(self):
+        src = "doall i = 1 to 4\n{\n    s = s + i;\n}"
+        text = format_program(parse(src))
+        assert format_program(parse(text)) == text
+
+
+class TestDoallExpansion:
+    def test_one_thread_per_iteration(self):
+        program = front_end("doall i = 1 to 3 { s = s + i; }")
+        region = next(
+            it for it in program.body.items if isinstance(it, CobeginRegion)
+        )
+        assert len(region.threads) == 3
+        assert [t.label for t in region.threads] == ["i1", "i2", "i3"]
+
+    def test_index_private_per_iteration(self):
+        program = front_end("doall i = 0 to 1 { s = s + i; }")
+        names = {
+            s.def_name()
+            for s, _ in iter_statements(program)
+            if s.def_name() is not None
+        }
+        privates = {n for n in names if n.startswith("i__it")}
+        assert len(privates) == 2
+
+    def test_empty_range_elides(self):
+        program = front_end("doall i = 5 to 2 { s = s + i; } print(1);")
+        assert not any(
+            isinstance(it, CobeginRegion) for it in program.body.items
+        )
+
+    def test_semantics_with_lock(self):
+        program = front_end(
+            """
+            s = 0;
+            doall i = 1 to 3 { lock(L); s = s + i; unlock(L); }
+            print(s);
+            """
+        )
+        res = explore(program)
+        assert res.outcomes == {(("print", (6,)),)}
+
+    def test_iterations_run_concurrently(self):
+        program = front_end(
+            "doall i = 1 to 2 { print(i); }"
+        )
+        res = explore(program)
+        assert len(res.outcomes) == 2  # both print orders
+
+
+class TestBarrier:
+    def test_own_pfg_node(self):
+        program = front_end("cobegin begin barrier(B); end coend")
+        g = build_flow_graph(program)
+        assert len(g.nodes_of_kind(NodeKind.BARRIER)) == 1
+
+    def test_enforces_phase_ordering(self):
+        program = front_end(
+            """
+            cobegin
+            T0: begin x = 1; barrier(B); print(y); end
+            T1: begin y = 2; barrier(B); print(x); end
+            coend
+            """
+        )
+        res = explore(program)
+        # After the barrier, each thread must see the other's write.
+        for outcome in res.outcomes:
+            values = {e[1][0] for e in outcome}
+            assert values == {1, 2}
+        assert not res.can_deadlock
+
+    def test_unreached_barrier_deadlocks(self):
+        program = front_end(
+            """
+            c = 0;
+            cobegin
+            T0: begin if (c > 0) { barrier(B); } end
+            T1: begin barrier(B); end
+            coend
+            """
+        )
+        assert explore(program).can_deadlock
+
+    def test_cyclic_reuse_in_loop(self):
+        program = front_end(
+            """
+            cobegin
+            T0: begin private i = 0; while (i < 3) { barrier(B); i = i + 1; } end
+            T1: begin private j = 0; while (j < 3) { barrier(B); j = j + 1; } end
+            coend
+            print(7);
+            """
+        )
+        res = explore(program)
+        assert res.outcomes == {(("print", (7,)),)}
+
+    def test_single_mentioner_passes(self):
+        # Participants = threads that mention the barrier: a lone
+        # mentioner sails through.
+        program = front_end(
+            "cobegin begin barrier(B); x = 1; end begin y = 2; end coend print(x, y);"
+        )
+        ex = run_random(program, seed=0)
+        assert ex.printed == [(1, 2)]
+
+    def test_barrier_survives_dce(self):
+        from repro.opt.pipeline import optimize
+
+        program = front_end(
+            """
+            cobegin
+            T0: begin barrier(B); end
+            T1: begin barrier(B); print(1); end
+            coend
+            """
+        )
+        optimize(program)
+        barriers = [
+            s for s, _ in iter_statements(program) if isinstance(s, SBarrier)
+        ]
+        assert len(barriers) == 2
+
+    def test_optimization_preserves_barrier_semantics(self):
+        from repro.opt.pipeline import optimize
+        from repro.verify import exhaustive_equivalence
+
+        program = front_end(
+            """
+            a = 0;
+            cobegin
+            T0: begin lock(L); a = 5; unlock(L); barrier(B); print(a); end
+            T1: begin barrier(B); lock(L); a = a + 1; unlock(L); end
+            coend
+            print(a);
+            """
+        )
+        report = optimize(program)
+        res = exhaustive_equivalence(report.baseline, program)
+        assert res.complete and res.equal, res.explain()
+
+    def test_nested_cobegin_scoping(self):
+        # The inner cobegin's barrier counts only inner threads.
+        program = front_end(
+            """
+            cobegin
+            Outer0: begin
+                cobegin
+                I0: begin barrier(B); end
+                I1: begin barrier(B); end
+                coend
+            end
+            Outer1: begin z = 1; end
+            coend
+            print(z);
+            """
+        )
+        res = explore(program)
+        assert res.outcomes == {(("print", (1,)),)}
+        assert not res.can_deadlock

@@ -1,0 +1,147 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import Lexer, tokenize
+from repro.lang.tokens import TokenKind as T
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind is not T.EOF]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_eof(self):
+        assert kinds("") == [T.EOF]
+
+    def test_whitespace_only(self):
+        assert kinds("  \t\n\r  ") == [T.EOF]
+
+    def test_integer_literal(self):
+        toks = tokenize("42")
+        assert toks[0].kind is T.INT
+        assert toks[0].text == "42"
+
+    def test_identifier(self):
+        toks = tokenize("someVar_1")
+        assert toks[0].kind is T.IDENT
+        assert toks[0].text == "someVar_1"
+
+    def test_identifier_with_leading_underscore(self):
+        assert tokenize("_x")[0].kind is T.IDENT
+
+    def test_all_single_operators(self):
+        assert kinds("( ) { } ; , : = + - * / % < > !")[:-1] == [
+            T.LPAREN, T.RPAREN, T.LBRACE, T.RBRACE, T.SEMI, T.COMMA,
+            T.COLON, T.ASSIGN, T.PLUS, T.MINUS, T.STAR, T.SLASH,
+            T.PERCENT, T.LT, T.GT, T.NOT,
+        ]
+
+    def test_all_double_operators(self):
+        assert kinds("== != <= >= && ||")[:-1] == [
+            T.EQ, T.NE, T.LE, T.GE, T.AND, T.OR,
+        ]
+
+    def test_double_operator_not_split(self):
+        # "<=" must lex as one token, not "<" then "="
+        assert kinds("a<=b")[:-1] == [T.IDENT, T.LE, T.IDENT]
+
+
+class TestKeywords:
+    @pytest.mark.parametrize(
+        "word,kind",
+        [
+            ("cobegin", T.KW_COBEGIN),
+            ("coend", T.KW_COEND),
+            ("begin", T.KW_BEGIN),
+            ("end", T.KW_END),
+            ("if", T.KW_IF),
+            ("else", T.KW_ELSE),
+            ("while", T.KW_WHILE),
+            ("lock", T.KW_LOCK),
+            ("unlock", T.KW_UNLOCK),
+            ("set", T.KW_SET),
+            ("wait", T.KW_WAIT),
+            ("print", T.KW_PRINT),
+            ("private", T.KW_PRIVATE),
+            ("skip", T.KW_SKIP),
+        ],
+    )
+    def test_keyword(self, word, kind):
+        assert tokenize(word)[0].kind is kind
+
+    def test_keywords_case_insensitive(self):
+        # The paper capitalizes Lock/Unlock.
+        assert tokenize("Lock")[0].kind is T.KW_LOCK
+        assert tokenize("UNLOCK")[0].kind is T.KW_UNLOCK
+        assert tokenize("Set")[0].kind is T.KW_SET
+
+    def test_keyword_prefix_is_identifier(self):
+        assert tokenize("locker")[0].kind is T.IDENT
+        assert tokenize("ifx")[0].kind is T.IDENT
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment here\nb")[:-1] == [T.IDENT, T.IDENT]
+
+    def test_block_comment(self):
+        assert kinds("a /* stuff \n more */ b")[:-1] == [T.IDENT, T.IDENT]
+
+    def test_block_comment_paper_style(self):
+        src = "a = 3; /* This kills the assignment to a in T0 */"
+        assert kinds(src)[:-1] == [T.IDENT, T.ASSIGN, T.INT, T.SEMI]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+
+class TestPositions:
+    def test_line_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].location.line, toks[0].location.column) == (1, 1)
+        assert (toks[1].location.line, toks[1].location.column) == (2, 3)
+
+    def test_columns_after_operator(self):
+        toks = tokenize("x=1;")
+        assert [t.location.column for t in toks[:-1]] == [1, 2, 3, 4]
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_malformed_number(self):
+        with pytest.raises(LexError):
+            tokenize("12abc")
+
+    def test_error_carries_location(self):
+        try:
+            tokenize("\n\n  @")
+        except LexError as exc:
+            assert exc.location.line == 3
+        else:  # pragma: no cover
+            raise AssertionError("expected LexError")
+
+
+class TestFullPrograms:
+    def test_figure1_fragment(self):
+        src = "Lock(L); a = a + b; Unlock(L);"
+        expected = [
+            T.KW_LOCK, T.LPAREN, T.IDENT, T.RPAREN, T.SEMI,
+            T.IDENT, T.ASSIGN, T.IDENT, T.PLUS, T.IDENT, T.SEMI,
+            T.KW_UNLOCK, T.LPAREN, T.IDENT, T.RPAREN, T.SEMI,
+        ]
+        assert kinds(src)[:-1] == expected
+
+    def test_thread_label(self):
+        assert kinds("T0: begin end")[:-1] == [
+            T.IDENT, T.COLON, T.KW_BEGIN, T.KW_END,
+        ]

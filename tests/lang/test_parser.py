@@ -1,0 +1,201 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+
+
+def only_stmt(source):
+    program = parse(source)
+    assert len(program.body.stmts) == 1
+    return program.body.stmts[0]
+
+
+class TestStatements:
+    def test_assignment(self):
+        stmt = only_stmt("x = 1;")
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.target == "x"
+        assert isinstance(stmt.value, ast.IntLit)
+
+    def test_private_decl(self):
+        stmt = only_stmt("private t;")
+        assert isinstance(stmt, ast.VarDecl)
+        assert stmt.ident == "t"
+        assert stmt.init is None
+
+    def test_private_decl_with_init(self):
+        stmt = only_stmt("private t = 3;")
+        assert isinstance(stmt.init, ast.IntLit)
+
+    def test_if_without_else(self):
+        stmt = only_stmt("if (a > 1) { b = 2; }")
+        assert isinstance(stmt, ast.IfStmt)
+        assert stmt.else_block is None
+        assert len(stmt.then_block.stmts) == 1
+
+    def test_if_with_else(self):
+        stmt = only_stmt("if (a) { b = 1; } else { b = 2; }")
+        assert stmt.else_block is not None
+
+    def test_if_single_statement_block(self):
+        stmt = only_stmt("if (a) b = 1;")
+        assert isinstance(stmt.then_block.stmts[0], ast.Assign)
+
+    def test_while(self):
+        stmt = only_stmt("while (i < 10) { i = i + 1; }")
+        assert isinstance(stmt, ast.WhileStmt)
+
+    def test_lock_unlock(self):
+        program = parse("lock(L); unlock(L);")
+        assert isinstance(program.body.stmts[0], ast.LockStmt)
+        assert isinstance(program.body.stmts[1], ast.UnlockStmt)
+        assert program.body.stmts[0].lock_name == "L"
+
+    def test_set_wait(self):
+        program = parse("set(ev); wait(ev);")
+        assert isinstance(program.body.stmts[0], ast.SetStmt)
+        assert isinstance(program.body.stmts[1], ast.WaitStmt)
+
+    def test_print_multiple_args(self):
+        stmt = only_stmt("print(a, b + 1, 3);")
+        assert isinstance(stmt, ast.PrintStmt)
+        assert len(stmt.args) == 3
+
+    def test_call_statement(self):
+        stmt = only_stmt("f(a, 2);")
+        assert isinstance(stmt, ast.CallStmt)
+        assert stmt.func == "f"
+        assert len(stmt.args) == 2
+
+    def test_call_statement_no_args(self):
+        stmt = only_stmt("f();")
+        assert stmt.args == []
+
+    def test_skip(self):
+        assert isinstance(only_stmt("skip;"), ast.Skip)
+
+
+class TestCobegin:
+    def test_labeled_threads(self):
+        stmt = only_stmt("cobegin T0: begin a = 1; end T1: begin b = 2; end coend")
+        assert isinstance(stmt, ast.Cobegin)
+        assert [t.label for t in stmt.threads] == ["T0", "T1"]
+
+    def test_unlabeled_threads(self):
+        stmt = only_stmt("cobegin begin a = 1; end begin b = 2; end coend")
+        assert [t.label for t in stmt.threads] == [None, None]
+
+    def test_brace_threads(self):
+        stmt = only_stmt("cobegin { a = 1; } { b = 2; } coend")
+        assert len(stmt.threads) == 2
+
+    def test_nested_cobegin(self):
+        stmt = only_stmt(
+            """
+            cobegin
+            begin
+                cobegin begin x = 1; end begin y = 2; end coend
+            end
+            begin z = 3; end
+            coend
+            """
+        )
+        inner = stmt.threads[0].body.stmts[0]
+        assert isinstance(inner, ast.Cobegin)
+
+    def test_empty_cobegin_rejected(self):
+        with pytest.raises(ParseError):
+            parse("cobegin coend")
+
+    def test_unterminated_cobegin(self):
+        with pytest.raises(ParseError):
+            parse("cobegin begin a = 1; end")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        stmt = only_stmt("x = a + b * c;")
+        assert stmt.value.op == "+"
+        assert stmt.value.right.op == "*"
+
+    def test_precedence_cmp_over_logic(self):
+        stmt = only_stmt("x = a < b && c > d;")
+        assert stmt.value.op == "&&"
+
+    def test_parentheses(self):
+        stmt = only_stmt("x = (a + b) * c;")
+        assert stmt.value.op == "*"
+        assert stmt.value.left.op == "+"
+
+    def test_left_associativity(self):
+        stmt = only_stmt("x = a - b - c;")
+        # (a - b) - c
+        assert stmt.value.left.op == "-"
+        assert isinstance(stmt.value.right, ast.Name)
+
+    def test_unary_minus(self):
+        stmt = only_stmt("x = -a + 1;")
+        assert stmt.value.op == "+"
+        assert isinstance(stmt.value.left, ast.UnaryOp)
+
+    def test_not(self):
+        stmt = only_stmt("x = !a;")
+        assert isinstance(stmt.value, ast.UnaryOp)
+        assert stmt.value.op == "!"
+
+    def test_call_expression(self):
+        stmt = only_stmt("x = g(a) + 1;")
+        assert isinstance(stmt.value.left, ast.CallExpr)
+
+    def test_nested_calls(self):
+        stmt = only_stmt("x = f(g(1), h());")
+        assert isinstance(stmt.value, ast.CallExpr)
+        assert isinstance(stmt.value.args[0], ast.CallExpr)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "x = ;",
+            "x = 1",
+            "if a { }",
+            "while () { }",
+            "lock L;",
+            "print();",
+            "x + 1;",
+            "= 5;",
+            "{",
+            "begin a = 1;",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+    def test_error_mentions_location(self):
+        try:
+            parse("x = ;")
+        except ParseError as exc:
+            assert exc.location.line == 1
+        else:  # pragma: no cover
+            raise AssertionError("expected ParseError")
+
+
+class TestPaperPrograms:
+    def test_figure1_parses(self):
+        from tests.conftest import FIGURE1_SOURCE
+
+        program = parse(FIGURE1_SOURCE)
+        cobegin = program.body.stmts[2]
+        assert isinstance(cobegin, ast.Cobegin)
+        assert len(cobegin.threads) == 2
+
+    def test_figure2_parses(self):
+        from tests.conftest import FIGURE2_SOURCE
+
+        program = parse(FIGURE2_SOURCE)
+        assert len(program.body.stmts) == 5  # a, b, cobegin, print, print

@@ -1,0 +1,106 @@
+"""Pretty-printer tests, including the parse∘format round-trip."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+from repro.lang.pretty import format_expr, format_program
+
+
+def roundtrip(source: str) -> None:
+    """format(parse(s)) must re-parse to an identical rendering."""
+    first = format_program(parse(source))
+    second = format_program(parse(first))
+    assert first == second
+
+
+class TestFormatExpr:
+    def test_minimal_parens(self):
+        expr = parse("x = a + b * c;").body.stmts[0].value
+        assert format_expr(expr) == "a + b * c"
+
+    def test_needed_parens_kept(self):
+        expr = parse("x = (a + b) * c;").body.stmts[0].value
+        assert format_expr(expr) == "(a + b) * c"
+
+    def test_right_nested_subtraction_parenthesized(self):
+        expr = parse("x = a - (b - c);").body.stmts[0].value
+        assert format_expr(expr) == "a - (b - c)"
+
+    def test_unary(self):
+        expr = parse("x = -(a + b);").body.stmts[0].value
+        assert format_expr(expr) == "-(a + b)"
+
+    def test_call(self):
+        expr = parse("x = f(a, b + 1);").body.stmts[0].value
+        assert format_expr(expr) == "f(a, b + 1)"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "x = 1;",
+            "private p = 2;",
+            "if (a > 1) { b = 2; } else { b = 3; }",
+            "while (i < 10) { i = i + 1; }",
+            "lock(L); a = a + 1; unlock(L);",
+            "set(e); wait(e);",
+            "print(a, b);",
+            "f(a);",
+            "skip;",
+            "cobegin T0: begin a = 1; end T1: begin b = 2; end coend",
+        ],
+    )
+    def test_roundtrip(self, source):
+        roundtrip(source)
+
+    def test_figure2_roundtrip(self):
+        from tests.conftest import FIGURE2_SOURCE
+
+        roundtrip(FIGURE2_SOURCE)
+
+    def test_deep_nesting_roundtrip(self):
+        roundtrip(
+            """
+            if (a) { if (b) { if (c) { x = 1; } } else { y = 2; } }
+            while (i < 3) { if (i == 1) { cobegin begin q = 1; end coend } }
+            """
+        )
+
+
+# Random expression round-trip: format then reparse gives the same tree
+# (up to rendering), catching precedence/parenthesization bugs.
+
+_names = st.sampled_from(["a", "b", "c", "x", "y"])
+
+
+def _exprs(depth):
+    base = st.one_of(
+        st.integers(min_value=0, max_value=99).map(ast.IntLit),
+        _names.map(ast.Name),
+    )
+    if depth == 0:
+        return base
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(st.sampled_from(["+", "-", "*", "/", "%"]), sub, sub).map(
+            lambda t: ast.BinOp(t[0], t[1], t[2])
+        ),
+        st.tuples(st.sampled_from(["-", "!"]), sub).map(
+            lambda t: ast.UnaryOp(t[0], t[1])
+        ),
+        st.tuples(st.sampled_from(["<", "<=", "==", "!="]), sub, sub).map(
+            lambda t: ast.BinOp(t[0], t[1], t[2])
+        ),
+    )
+
+
+@given(_exprs(4))
+@settings(max_examples=200, deadline=None)
+def test_expr_roundtrip_property(expr):
+    rendered = format_expr(expr)
+    reparsed = parse(f"x = {rendered};").body.stmts[0].value
+    assert format_expr(reparsed) == rendered

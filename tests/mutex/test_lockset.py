@@ -1,0 +1,49 @@
+"""Lockset computation."""
+
+from repro.cfg.builder import build_flow_graph
+from repro.mutex.identify import identify_mutex_structures
+from repro.mutex.lockset import compute_locksets
+from tests.conftest import build
+
+
+def locksets_of(source):
+    g = build_flow_graph(build(source))
+    structures = identify_mutex_structures(g)
+    return g, compute_locksets(g, structures)
+
+
+def block_holding(g, target):
+    for b in g.blocks:
+        for s in b.stmts:
+            if getattr(s, "target", None) == target:
+                return b.id
+    raise AssertionError(target)
+
+
+class TestLocksets:
+    def test_inside_section_holds_lock(self):
+        g, ls = locksets_of("lock(L); a = 1; unlock(L); b = 2;")
+        assert ls[block_holding(g, "a")] == {"L"}
+        assert ls[block_holding(g, "b")] == frozenset()
+
+    def test_nested_locks_accumulate(self):
+        g, ls = locksets_of(
+            "lock(A); x = 1; lock(B); y = 2; unlock(B); z = 3; unlock(A);"
+        )
+        assert ls[block_holding(g, "x")] == {"A"}
+        assert ls[block_holding(g, "y")] == {"A", "B"}
+        assert ls[block_holding(g, "z")] == {"A"}
+
+    def test_unmatched_lock_holds_nothing(self):
+        g, ls = locksets_of("lock(L); a = 1;")
+        # No mutex body formed, so conservatively nothing is protected.
+        assert ls[block_holding(g, "a")] == frozenset()
+
+    def test_unlock_node_not_counted(self):
+        g, ls = locksets_of("lock(L); a = 1; unlock(L);")
+        from repro.cfg.blocks import NodeKind
+
+        unlock = g.nodes_of_kind(NodeKind.UNLOCK)[0]
+        lock = g.nodes_of_kind(NodeKind.LOCK)[0]
+        assert ls[unlock.id] == frozenset()
+        assert ls[lock.id] == {"L"}

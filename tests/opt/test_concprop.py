@@ -1,0 +1,221 @@
+"""Concurrent Sparse Conditional Constant propagation."""
+
+from repro.cssame import build_cssame
+from repro.ir.printer import format_ir
+from repro.ir.stmts import Phi, Pi, SAssign
+from repro.ir.structured import IfRegion, WhileRegion, iter_statements
+from repro.opt import concurrent_constant_propagation
+from tests.conftest import build
+
+
+def prop(source, prune=True):
+    program = build(source)
+    form = build_cssame(program, prune=prune)
+    stats = concurrent_constant_propagation(program, form.graph)
+    return program, stats
+
+
+class TestSequential:
+    def test_straightline(self):
+        program, stats = prop("a = 2; b = a + 3; print(b);")
+        text = format_ir(program)
+        assert "b0 = 5;" in text
+        assert stats.constants["b0"] == 5
+
+    def test_conditional_constant_branch_folds(self):
+        program, stats = prop("a = 5; if (a > 1) { b = 1; } else { b = 2; } print(b);")
+        assert stats.branches_folded == 1
+        text = format_ir(program)
+        assert "else" not in text
+        assert "b0 = 1;" in text
+        # The join φ collapsed to the taken arm.
+        assert not any(isinstance(s, Phi) for s, _ in iter_statements(program))
+
+    def test_unknown_branch_kept(self):
+        program, stats = prop("c = f(); if (c) { b = 1; } else { b = 2; } print(b);")
+        assert stats.branches_folded == 0
+        assert any(isinstance(i, IfRegion) for i in program.body.items)
+
+    def test_phi_meet_to_bottom(self):
+        program, _ = prop("c = f(); if (c) { b = 1; } else { b = 2; } print(b);")
+        phi = next(s for s, _ in iter_statements(program) if isinstance(s, Phi))
+        assert len(phi.args) == 2
+
+    def test_phi_same_constant_both_arms(self):
+        program, stats = prop("c = f(); if (c) { b = 7; } else { b = 7; } print(b);")
+        # φ value is Const(7) — materialized (sequential program: safe).
+        text = format_ir(program)
+        assert "= 7;" in text
+        assert "phi" not in text
+
+    def test_false_loop_removed(self):
+        program, stats = prop("i = 9; while (i < 5) { i = i + 1; } print(i);")
+        assert stats.loops_removed == 1
+        assert not any(isinstance(i, WhileRegion) for i in program.body.items)
+        assert "print(9);" in format_ir(program)
+
+    def test_running_loop_not_folded(self):
+        program, stats = prop("i = 0; while (i < 3) { i = i + 1; } print(i);")
+        assert stats.loops_removed == 0
+        assert any(isinstance(i, WhileRegion) for i in program.body.items)
+
+    def test_division_by_zero_not_folded(self):
+        program, _ = prop("a = 0; b = 1 / a; print(b);")
+        text = format_ir(program)
+        assert "1 / 0" in text  # left for runtime
+
+    def test_call_argument_folded(self):
+        program, _ = prop("a = 3; f(a + 1);")
+        assert "f(4);" in format_ir(program)
+
+
+class TestConcurrent:
+    def test_figure4a_cssa_no_propagation_in_t0(self, figure2_source):
+        program, stats = prop(figure2_source, prune=False)
+        text = format_ir(program)
+        # The π terms keep everything unknown: b1 = ta1 + 3 stays.
+        assert "b1 = ta1 + 3;" in text
+        assert "x0 = ta3;" in text
+
+    def test_figure4b_cssame_propagates(self, figure2_source):
+        program, stats = prop(figure2_source, prune=True)
+        text = format_ir(program)
+        for fragment in ("a1 = 5;", "b1 = 8;", "a2 = 13;", "a3 = 13;", "x0 = 13;"):
+            assert fragment in text, fragment
+        assert stats.branches_folded == 1  # if (b1 > 4) folded
+
+    def test_pi_meet_includes_conflict_args(self):
+        program, _ = prop(
+            """
+            v = 1;
+            cobegin
+            begin x = v; end
+            begin v = 1; end
+            coend
+            print(x);
+            """
+        )
+        # Both reaching defs give 1 → x is 1 despite the race.
+        assert "x0 = 1;" in format_ir(program)
+
+    def test_pi_meet_conflicting_values_bottom(self):
+        program, _ = prop(
+            """
+            v = 1;
+            cobegin
+            begin x = v; end
+            begin v = 2; end
+            coend
+            print(x);
+            """
+        )
+        text = format_ir(program)
+        assert "x0 = 1;" not in text
+        assert "x0 = 2;" not in text
+
+    def test_unsafe_phi_not_materialized(self):
+        # The coend φ of a racy variable must not become a real store.
+        program, _ = prop(
+            """
+            v = 1;
+            cobegin
+            begin v = 5; end
+            begin x = v; end
+            coend
+            print(v);
+            """
+        )
+        for stmt, _ctx in iter_statements(program):
+            if isinstance(stmt, SAssign) and stmt.target == "v":
+                # only the two original assignments; no materialized φ
+                assert stmt.version in (0, 1)
+
+    def test_mutex_protected_phi_materialized(self, figure2_source):
+        # Fig. 4b: a3 = 13 replaces the φ inside the mutex body.
+        program, _ = prop(figure2_source, prune=True)
+        a3 = [
+            s for s, _ in iter_statements(program)
+            if isinstance(s, SAssign) and s.target == "a" and s.version == 3
+        ]
+        assert len(a3) == 1
+
+
+class TestFixpointRegressions:
+    def test_coend_phi_reevaluated_on_second_thread_edge(self):
+        """Regression: a coend φ must be re-evaluated when the second
+        thread's exit edge becomes executable.
+
+        Shape: T0 writes a constant; T1's write is unknown.  If the φ
+        is frozen after only T0's edge was processed it wrongly reads
+        Const; the meet over both threads is ⊥.
+        """
+        program, _ = prop(
+            """
+            v = 0;
+            cobegin
+            begin lock(L); v = 8; unlock(L); end
+            begin lock(L); v = g(); unlock(L); end
+            coend
+            print(v);
+            """
+        )
+        text = format_ir(program)
+        assert "print(8);" not in text
+        assert "phi(" in text  # the coend merge survives
+
+
+    def test_upward_exposed_phi_not_materialized_even_under_lock(self):
+        """Regression: a constant φ whose point is upward-exposed from
+        its mutex body must not become a store, even though all parties
+        hold the same lock — the base may currently hold a concurrent
+        thread's value, and the store would clobber it.
+
+        Shape: T0's φ merges s along paths that never write s (the
+        writing arm is conditioned on an opaque value, so constprop
+        cannot fold it away but the φ stays upward-exposed... here we
+        use a shape where the φ value IS constant); T1 really writes s
+        under the same lock.  The program must always print -11.
+        """
+        source = """
+        s = 9;
+        cobegin
+        begin
+            lock(L);
+            if (g() > 0) { t = s; }
+            unlock(L);
+        end
+        begin
+            lock(L);
+            s = -11;
+            unlock(L);
+        end
+        coend
+        print(s);
+        """
+        from repro.vm.explore import explore
+
+        program, _ = prop(source)
+        # T0 never writes s, so the final print is always -11; a
+        # materialized `s = 9` store in T0 would make 9 printable.
+        finals = {o[-1][1][0] for o in explore(program).outcomes}
+        assert finals == {-11}
+
+
+class TestChainConsistency:
+    def test_chains_valid_after_transform(self, figure2_source):
+        program, _ = prop(figure2_source)
+        live = {id(s) for s, _ in iter_statements(program)}
+        from repro.ir.stmts import IRStmt
+
+        for stmt, _ in iter_statements(program):
+            for use in stmt.uses():
+                if isinstance(use.def_site, IRStmt):
+                    assert id(use.def_site) in live, (
+                        f"dangling chain from {stmt.to_str()}"
+                    )
+
+    def test_idempotent_second_run(self, figure2_source):
+        program, _ = prop(figure2_source)
+        before = format_ir(program)
+        concurrent_constant_propagation(program)
+        assert format_ir(program) == before

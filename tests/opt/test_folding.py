@@ -1,0 +1,108 @@
+"""Expression evaluation: abstract (lattice) and concrete agree."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import VMError
+from repro.ir.expr import EBin, ECall, EConst, EUn, EVar
+from repro.opt.folding import (
+    apply_binop,
+    apply_unop,
+    c_div,
+    c_mod,
+    eval_expr,
+    eval_expr_concrete,
+)
+from repro.opt.lattice import BOTTOM, TOP, ConstValue
+
+
+class TestCStyleDivision:
+    @pytest.mark.parametrize(
+        "a,b,q,r",
+        [
+            (7, 2, 3, 1),
+            (-7, 2, -3, -1),
+            (7, -2, -3, 1),
+            (-7, -2, 3, -1),
+            (6, 3, 2, 0),
+            (0, 5, 0, 0),
+        ],
+    )
+    def test_truncating(self, a, b, q, r):
+        assert c_div(a, b) == q
+        assert c_mod(a, b) == r
+
+    @given(st.integers(-100, 100), st.integers(-100, 100).filter(lambda x: x))
+    def test_div_mod_identity(self, a, b):
+        assert c_div(a, b) * b + c_mod(a, b) == a
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(VMError):
+            c_div(1, 0)
+        with pytest.raises(VMError):
+            c_mod(1, 0)
+
+
+class TestOperators:
+    def test_comparisons_are_01(self):
+        assert apply_binop("<", 1, 2) == 1
+        assert apply_binop(">=", 1, 2) == 0
+        assert apply_binop("==", 3, 3) == 1
+
+    def test_logic(self):
+        assert apply_binop("&&", 2, 3) == 1
+        assert apply_binop("&&", 0, 3) == 0
+        assert apply_binop("||", 0, 0) == 0
+        assert apply_unop("!", 0) == 1
+        assert apply_unop("!", 7) == 0
+        assert apply_unop("-", 5) == -5
+
+
+class TestAbstractEval:
+    def env(self, mapping):
+        values = {k: ConstValue(v) if isinstance(v, int) else v for k, v in mapping.items()}
+        return lambda var: values.get(var.name, BOTTOM)
+
+    def test_const_fold(self):
+        expr = EBin("+", EConst(2), EBin("*", EConst(3), EConst(4)))
+        assert eval_expr(expr, self.env({})) == ConstValue(14)
+
+    def test_var_lookup(self):
+        expr = EBin("+", EVar("a"), EConst(1))
+        assert eval_expr(expr, self.env({"a": 4})) == ConstValue(5)
+
+    def test_bottom_propagates(self):
+        expr = EBin("+", EVar("zz"), EConst(1))
+        assert eval_expr(expr, self.env({})) is BOTTOM
+
+    def test_top_wins_over_bottom(self):
+        # Optimistic: TOP operand keeps the result TOP.
+        expr = EBin("+", EVar("t"), EVar("zz"))
+        assert eval_expr(expr, self.env({"t": TOP})) is TOP
+
+    def test_call_is_bottom(self):
+        assert eval_expr(ECall("f", [EConst(1)]), self.env({})) is BOTTOM
+
+    def test_div_by_zero_is_bottom(self):
+        expr = EBin("/", EConst(1), EConst(0))
+        assert eval_expr(expr, self.env({})) is BOTTOM
+
+
+class TestAgreement:
+    """Abstract evaluation of constants must match concrete evaluation."""
+
+    _ops = st.sampled_from(["+", "-", "*", "==", "!=", "<", "<=", ">", ">=", "&&", "||"])
+
+    @given(_ops, st.integers(-20, 20), st.integers(-20, 20))
+    def test_binop_agreement(self, op, a, b):
+        expr = EBin(op, EConst(a), EConst(b))
+        abstract = eval_expr(expr, lambda v: BOTTOM)
+        concrete = eval_expr_concrete(expr, lambda name: 0)
+        assert abstract == ConstValue(concrete)
+
+    @given(st.integers(-50, 50), st.integers(-50, 50).filter(lambda x: x))
+    def test_division_agreement(self, a, b):
+        expr = EBin("/", EConst(a), EConst(b))
+        assert eval_expr(expr, lambda v: BOTTOM) == ConstValue(
+            eval_expr_concrete(expr, lambda name: 0)
+        )

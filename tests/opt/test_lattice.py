@@ -1,0 +1,55 @@
+"""Constant lattice unit tests + meet properties."""
+
+from hypothesis import given, strategies as st
+
+from repro.opt.lattice import BOTTOM, TOP, ConstValue, meet, meet_all
+
+
+def test_top_is_identity():
+    assert meet(TOP, BOTTOM) is BOTTOM
+    assert meet(BOTTOM, TOP) is BOTTOM
+    assert meet(TOP, ConstValue(3)) == ConstValue(3)
+    assert meet(ConstValue(3), TOP) == ConstValue(3)
+    assert meet(TOP, TOP) is TOP
+
+
+def test_bottom_absorbs():
+    assert meet(BOTTOM, ConstValue(1)) is BOTTOM
+    assert meet(ConstValue(1), BOTTOM) is BOTTOM
+    assert meet(BOTTOM, BOTTOM) is BOTTOM
+
+
+def test_equal_constants_stay():
+    assert meet(ConstValue(4), ConstValue(4)) == ConstValue(4)
+
+
+def test_unequal_constants_bottom():
+    assert meet(ConstValue(4), ConstValue(5)) is BOTTOM
+
+
+def test_meet_all():
+    assert meet_all([]) is TOP
+    assert meet_all([ConstValue(2), TOP, ConstValue(2)]) == ConstValue(2)
+    assert meet_all([ConstValue(2), ConstValue(3)]) is BOTTOM
+
+
+_values = st.one_of(
+    st.just(TOP),
+    st.just(BOTTOM),
+    st.integers(-5, 5).map(ConstValue),
+)
+
+
+@given(_values, _values)
+def test_meet_commutative(a, b):
+    assert meet(a, b) == meet(b, a)
+
+
+@given(_values, _values, _values)
+def test_meet_associative(a, b, c):
+    assert meet(meet(a, b), c) == meet(a, meet(b, c))
+
+
+@given(_values)
+def test_meet_idempotent(a):
+    assert meet(a, a) == a

@@ -1,0 +1,271 @@
+"""Lock-Independent Code Motion."""
+
+from repro.cssame import build_cssame
+from repro.ir.printer import format_ir
+from repro.ir.structured import iter_statements
+from repro.opt import lock_independent_code_motion
+from repro.opt.pipeline import optimize
+from tests.conftest import build
+
+
+def licm(source):
+    program = build(source)
+    build_cssame(program)
+    stats = lock_independent_code_motion(program)
+    return program, stats
+
+
+def section_lines(text):
+    """Lines between lock( and unlock( in the listing, per section."""
+    sections = []
+    current = None
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("lock("):
+            current = []
+        elif stripped.startswith("unlock("):
+            sections.append(current or [])
+            current = None
+        elif current is not None:
+            current.append(stripped)
+    return sections
+
+
+class TestHoistSink:
+    def test_private_work_leaves_section(self):
+        program, stats = licm(
+            """
+            acc = 0;
+            cobegin
+            begin
+                private w = 1;
+                lock(M);
+                w = w + 1;
+                acc = acc + w;
+                out = acc + 1;
+                unlock(M);
+            end
+            begin
+                lock(M);
+                acc = acc + 2;
+                unlock(M);
+            end
+            coend
+            print(acc, out);
+            """
+        )
+        assert stats.hoisted >= 1  # w = w + 1 hoists
+        text = format_ir(program)
+        (t0_section, _t1) = section_lines(text)
+        # Only the shared updates stay inside.
+        assert all("acc" in line for line in t0_section)
+
+    def test_out_is_sunk_not_lost(self):
+        program, stats = licm(
+            """
+            acc = 0;
+            cobegin
+            begin lock(M); acc = acc + 1; out = 5; unlock(M); end
+            begin lock(M); acc = acc + 2; unlock(M); end
+            coend
+            print(acc, out);
+            """
+        )
+        assert stats.total_moved == 1
+        text = format_ir(program)
+        sections = section_lines(text)
+        assert not any("out0" in line for sec in sections for line in sec)
+        assert "out0 = 5;" in text
+
+    def test_shared_update_stays(self):
+        program, stats = licm(
+            """
+            acc = 0;
+            cobegin
+            begin lock(M); acc = acc + 1; unlock(M); end
+            begin lock(M); acc = acc + 2; unlock(M); end
+            coend
+            print(acc);
+            """
+        )
+        assert stats.total_moved == 0
+
+    def test_flow_dependence_blocks_hoist(self):
+        # w depends on the in-section read of acc: cannot hoist.
+        program, stats = licm(
+            """
+            acc = 0;
+            cobegin
+            begin lock(M); w = acc + 1; acc = w; unlock(M); end
+            begin lock(M); acc = acc + 2; unlock(M); end
+            coend
+            print(acc);
+            """
+        )
+        assert stats.hoisted == 0
+
+    def test_anti_dependence_blocks_hoist(self):
+        # y = w reads w before w = 9 writes it; hoisting w = 9 above
+        # the read would change y (the A.5 soundness fix).
+        program, stats = licm(
+            """
+            acc = 0; w = 1;
+            cobegin
+            begin lock(M); y = w + acc; w = 9; unlock(M); end
+            begin lock(M); acc = acc + 1; unlock(M); end
+            coend
+            print(y, w);
+            """
+        )
+        text = format_ir(program)
+        # w = 9 may legally *sink* (y already read the old w), but it
+        # must never hoist above the read of w.
+        lines = text.splitlines()
+        y_line = next(i for i, l in enumerate(lines) if "y0 =" in l)
+        w9_line = next(i for i, l in enumerate(lines) if "w1 = 9;" in l)
+        assert w9_line > y_line
+
+    def test_call_not_moved(self):
+        program, stats = licm(
+            """
+            cobegin
+            begin lock(M); x = g(1); unlock(M); end
+            begin lock(M); y = 2; unlock(M); end
+            coend
+            print(x, y);
+            """
+        )
+        text = format_ir(program)
+        sections = section_lines(text)
+        assert any("g(1)" in line for line in sections[0])
+
+
+class TestRegionMotion:
+    def test_whole_loop_hoisted(self):
+        program, stats = licm(
+            """
+            acc = 0;
+            cobegin
+            A: begin
+                private w = 0;
+                private i = 0;
+                lock(M);
+                while (i < 3) { w = w + i; i = i + 1; }
+                acc = acc + w;
+                unlock(M);
+            end
+            B: begin lock(M); acc = acc + 10; unlock(M); end
+            coend
+            print(acc);
+            """
+        )
+        assert stats.hoisted >= 1
+        text = format_ir(program)
+        sections = section_lines(text)
+        assert not any("while" in line for line in sections[0])
+        assert "while" in text  # the loop survives, outside the lock
+
+    def test_loop_touching_shared_stays(self):
+        program, stats = licm(
+            """
+            acc = 0;
+            cobegin
+            A: begin
+                private i = 0;
+                lock(M);
+                while (i < 3) { acc = acc + i; i = i + 1; }
+                unlock(M);
+            end
+            B: begin lock(M); acc = acc + 10; unlock(M); end
+            coend
+            print(acc);
+            """
+        )
+        text = format_ir(program)
+        sections = section_lines(text)
+        assert any("while" in line for line in sections[0])
+
+    def test_private_if_region_sunk_or_hoisted(self):
+        program, stats = licm(
+            """
+            v = 0;
+            cobegin
+            A: begin
+                private p = 1;
+                lock(M);
+                v = v + 1;
+                if (p > 0) { p = p * 2; }
+                unlock(M);
+            end
+            B: begin lock(M); v = v + 2; unlock(M); end
+            coend
+            print(v);
+            """
+        )
+        assert stats.total_moved >= 1
+        text = format_ir(program)
+        sections = section_lines(text)
+        assert not any("if (" in line for line in sections[0])
+
+    def test_region_with_nested_cobegin_stays(self):
+        program, stats = licm(
+            """
+            v = 0;
+            cobegin
+            A: begin
+                private p = 1;
+                lock(M);
+                if (p > 0) {
+                    cobegin begin p = 2; end coend
+                }
+                v = v + 1;
+                unlock(M);
+            end
+            B: begin lock(M); v = v + 2; unlock(M); end
+            coend
+            print(v);
+            """
+        )
+        text = format_ir(program)
+        sections = section_lines(text)
+        assert any("if (" in line for line in sections[0])
+
+
+class TestEmptyBodies:
+    def test_emptied_body_lock_removed(self):
+        program, stats = licm(
+            """
+            cobegin
+            begin lock(M); x = 5; unlock(M); end
+            begin lock(M); y = 6; unlock(M); end
+            coend
+            print(x, y);
+            """
+        )
+        assert stats.bodies_emptied == 2
+        text = format_ir(program)
+        assert "lock(" not in text
+        assert "x0 = 5;" in text and "y0 = 6;" in text
+
+    def test_nonempty_body_keeps_lock(self, figure2_source):
+        report = optimize(build(figure2_source), fold_output_uses=False)
+        text = report.listings["licm"]
+        assert text.count("unlock(L);") == 2
+        assert text.count("lock(L);") - text.count("unlock(L);") == 2
+
+
+class TestFigure5b:
+    def test_paper_motion(self, figure2_source):
+        report = optimize(build(figure2_source), fold_output_uses=False)
+        text = report.listings["licm"]
+        sections = section_lines(text)
+        # x0 = 13 and y0 = a4 are outside both mutex bodies...
+        for section in sections:
+            assert not any("x0" in line for line in section)
+            assert not any("y0 = a4" in line for line in section)
+        # ...but still present in the program.
+        assert "x0 = 13;" in text
+        assert "y0 = a4;" in text
+        # b1 = 8 must stay inside its body (T1 reads b through tb0).
+        assert any("b1 = 8;" in line for line in sections[0])
+        assert report.licm.total_moved >= 2

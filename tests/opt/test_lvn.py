@@ -1,0 +1,142 @@
+"""Local value numbering on CSSAME."""
+
+from repro.cssame import build_cssame
+from repro.ir.printer import format_ir
+from repro.ir.stmts import SAssign
+from repro.ir.structured import iter_statements
+from repro.opt import local_value_numbering, optimize
+from repro.verify import exhaustive_equivalence
+from tests.conftest import build
+
+
+def lvn(source):
+    program = build(source)
+    build_cssame(program)
+    stats = local_value_numbering(program)
+    return program, stats
+
+
+def assign(program, name, version=None):
+    return next(
+        s for s, _ in iter_statements(program)
+        if isinstance(s, SAssign) and s.target == name
+        and (version is None or s.version == version)
+    )
+
+
+class TestBasicReuse:
+    def test_redundant_expression_reused(self):
+        program, stats = lvn("x = a + b; y = a + b; print(x, y);")
+        assert stats.expressions_replaced == 1
+        y = assign(program, "y")
+        assert y.to_str() == "y0 = x0;"
+
+    def test_subexpression_reused(self):
+        program, stats = lvn("x = a + b; y = (a + b) * 2; print(x, y);")
+        assert stats.expressions_replaced == 1
+        assert "y0 = x0 * 2;" in format_ir(program)
+
+    def test_commutativity(self):
+        program, stats = lvn("x = a + b; y = b + a; print(x, y);")
+        assert stats.expressions_replaced == 1
+
+    def test_non_commutative_not_matched(self):
+        program, stats = lvn("x = a - b; y = b - a; print(x, y);")
+        assert stats.expressions_replaced == 0
+
+    def test_reuse_in_print_and_branch(self):
+        program, stats = lvn(
+            "x = a * a; if (a * a > 2) { print(a * a); } print(x);"
+        )
+        # the branch condition and print argument are in the same block
+        # as the def only if no block split intervenes; the branch use is.
+        assert stats.expressions_replaced >= 1
+
+    def test_calls_never_reused(self):
+        program, stats = lvn("x = g(1) + 2; y = g(1) + 2; print(x, y);")
+        assert stats.expressions_replaced == 0
+
+
+class TestSafetyConditions:
+    def test_base_redefinition_blocks_reuse(self):
+        # After x is reassigned, x no longer holds a+b at runtime.
+        program, stats = lvn(
+            "x = a + b; x = 0; y = a + b; print(x, y);"
+        )
+        assert stats.expressions_replaced == 0
+
+    def test_ssa_rename_blocks_stale_match(self):
+        # a changes between the two computations: different SSA names,
+        # no match.
+        program, stats = lvn("x = a + b; a = 9; y = a + b; print(x, y);")
+        assert stats.expressions_replaced == 0
+
+    def test_no_reuse_across_blocks(self):
+        program, stats = lvn(
+            "x = a + b; if (c) { y = a + b; } print(x, y);"
+        )
+        assert stats.expressions_replaced == 0  # block-local only
+
+    def test_no_reuse_across_lock_boundary(self):
+        program, stats = lvn(
+            "x = a + b; lock(L); y = a + b; unlock(L); print(x, y);"
+        )
+        assert stats.expressions_replaced == 0
+
+    def test_shared_source_not_reused(self):
+        # x is concurrently written: reading it again is a new racy
+        # read — must recompute instead.
+        program, stats = lvn(
+            """
+            a = 1; b = 2;
+            cobegin
+            begin x = a + b; y = a + b; print(y); end
+            begin x = 99; end
+            coend
+            print(x);
+            """
+        )
+        y = assign(program, "y")
+        assert "x" not in {u.name for u in y.uses()}
+
+    def test_private_source_reused_in_thread(self):
+        program, stats = lvn(
+            """
+            a = 1; b = 2;
+            cobegin
+            begin private t = 0; t = a + b; u = a + b; print(u); end
+            begin c = 5; end
+            coend
+            """
+        )
+        assert stats.expressions_replaced == 1
+
+
+class TestPipelineIntegration:
+    def test_lvn_pass_in_pipeline(self):
+        program = build("x = g(0); y = x * x + 1; z = x * x + 1; print(y, z);")
+        report = optimize(program, passes=("constprop", "lvn", "pdce"))
+        assert report.lvn is not None
+        assert report.lvn.expressions_replaced == 1
+        assert "z0 = y0;" in report.listings["lvn"]
+
+    def test_lvn_preserves_semantics(self):
+        src = """
+        a = 3; b = 4;
+        cobegin
+        begin lock(L); x = a * b; y = a * b + 1; unlock(L); end
+        begin lock(L); a = a + 1; unlock(L); end
+        coend
+        print(x, y);
+        """
+        program = build(src)
+        report = optimize(program, passes=("constprop", "lvn", "pdce", "licm"))
+        res = exhaustive_equivalence(report.baseline, program)
+        assert res.complete
+        assert res.equal, res.explain()
+
+    def test_idempotent(self):
+        program, _ = lvn("x = a + b; y = a + b; print(x, y);")
+        before = format_ir(program)
+        local_value_numbering(program)
+        assert format_ir(program) == before

@@ -1,0 +1,155 @@
+"""Parallel Dead Code Elimination."""
+
+from repro.cssame import build_cssame
+from repro.ir.printer import format_ir
+from repro.ir.stmts import SAssign, SLock
+from repro.ir.structured import CobeginRegion, IfRegion, iter_statements
+from repro.opt import (
+    concurrent_constant_propagation,
+    parallel_dead_code_elimination,
+)
+from tests.conftest import build
+
+
+def dce(source, prune=True, constprop=False):
+    program = build(source)
+    form = build_cssame(program, prune=prune)
+    if constprop:
+        concurrent_constant_propagation(program, form.graph, fold_output_uses=False)
+    stats = parallel_dead_code_elimination(program)
+    return program, stats
+
+
+class TestSequential:
+    def test_unused_assignment_removed(self):
+        program, stats = dce("a = 1; b = 2; print(b);")
+        assert stats.stmts_removed == 1
+        assert "a0" not in format_ir(program)
+
+    def test_chain_of_dead_defs(self):
+        program, stats = dce("a = 1; b = a + 1; c = b + 1; print(1);")
+        assert stats.stmts_removed == 3
+
+    def test_live_chain_kept(self):
+        program, stats = dce("a = 1; b = a + 1; print(b);")
+        assert stats.stmts_removed == 0
+
+    def test_dead_branch_region_removed(self):
+        program, stats = dce("c = f(); if (c) { a = 1; } print(2);")
+        assert stats.regions_removed == 1
+        assert not any(isinstance(i, IfRegion) for i in program.body.items)
+
+    def test_live_branch_kept(self):
+        program, stats = dce("c = f(); if (c) { a = 1; } print(a);")
+        assert stats.regions_removed == 0
+        # c = f() is live via control dependence.
+        assert "c0" in format_ir(program)
+
+    def test_calls_always_live(self):
+        program, stats = dce("a = 1; f(a);")
+        assert stats.stmts_removed == 0
+
+    def test_skip_removed(self):
+        program, stats = dce("skip; print(1);")
+        assert "skip" not in format_ir(program)
+
+    def test_dead_loop_removed(self):
+        program, stats = dce(
+            "i = 0; while (i < 3) { i = i + 1; } print(7);"
+        )
+        assert stats.regions_removed == 1
+        assert "while" not in format_ir(program)
+
+    def test_live_loop_kept(self):
+        program, stats = dce("i = 0; while (i < 3) { i = i + 1; } print(i);")
+        assert "while" in format_ir(program)
+
+
+class TestParallel:
+    def test_sync_ops_always_live(self):
+        program, stats = dce("lock(L); a = 1; unlock(L); print(1);")
+        text = format_ir(program)
+        assert "lock(L);" in text and "unlock(L);" in text
+
+    def test_cross_thread_use_keeps_def(self, figure2_source):
+        # The paper's key PDCE example: b = 8 in T0 is live because T1
+        # reads b through a π term; a sequential DCE would kill it.
+        program, stats = dce(figure2_source, prune=True, constprop=True)
+        text = format_ir(program)
+        assert "b1 = 8;" in text
+        # All the dead a-defs of T0 are gone (Fig. 5a).
+        assert "a1 = 5;" not in text
+        assert "a2 = 13;" not in text
+        assert "a3 = 13;" not in text
+
+    def test_cssa_keeps_more_than_cssame(self, figure2_source):
+        _, stats_cssa = dce(figure2_source, prune=False, constprop=True)
+        _, stats_cssame = dce(figure2_source, prune=True, constprop=True)
+        assert stats_cssame.total_removed > stats_cssa.total_removed
+
+    def test_thread_removed_when_dead(self):
+        program, stats = dce(
+            """
+            cobegin
+            begin a = 1; end
+            begin b = 2; end
+            coend
+            print(b);
+            """
+        )
+        # T0 is entirely dead: the cobegin collapses to T1's code.
+        assert stats.cobegins_sequentialized == 1
+        assert not any(isinstance(i, CobeginRegion) for i in program.body.items)
+        assert "b0 = 2;" in format_ir(program)
+
+    def test_cobegin_removed_when_all_dead(self):
+        program, stats = dce(
+            "cobegin begin a = 1; end begin b = 2; end coend print(3);"
+        )
+        assert not any(isinstance(i, CobeginRegion) for i in program.body.items)
+
+    def test_cobegin_kept_with_two_live_threads(self):
+        program, stats = dce(
+            """
+            cobegin
+            begin a = 1; end
+            begin b = 2; end
+            coend
+            print(a, b);
+            """
+        )
+        region = next(i for i in program.body.items if isinstance(i, CobeginRegion))
+        assert len(region.threads) == 2
+
+    def test_sync_only_thread_survives(self):
+        program, stats = dce(
+            """
+            cobegin
+            begin set(e); end
+            begin wait(e); x = 1; end
+            coend
+            print(x);
+            """
+        )
+        region = next(i for i in program.body.items if isinstance(i, CobeginRegion))
+        assert len(region.threads) == 2  # set(e) keeps T0 alive
+
+
+class TestPhiPiCleanup:
+    def test_dead_phi_removed(self):
+        program, stats = dce("a = 1; if (c) { a = 2; } print(7);")
+        assert "phi" not in format_ir(program)
+
+    def test_live_pi_keeps_conflict_defs(self):
+        program, stats = dce(
+            """
+            v = 0;
+            cobegin
+            begin x = v; end
+            begin v = 9; end
+            coend
+            print(x);
+            """
+        )
+        text = format_ir(program)
+        assert "v1 = 9;" in text  # kept through the π conflict argument

@@ -1,0 +1,50 @@
+"""Structural simplification pass."""
+
+from repro.ir.printer import format_ir
+from repro.opt.simplify import simplify_structure
+from tests.conftest import build
+
+
+class TestSimplify:
+    def test_skip_removed(self):
+        program = build("skip; x = 1; skip;")
+        assert simplify_structure(program) == 2
+        assert "skip" not in format_ir(program)
+
+    def test_empty_if_removed(self):
+        program = build("if (a) { skip; }")
+        simplify_structure(program)
+        assert format_ir(program) == ""
+
+    def test_empty_if_with_call_condition_kept(self):
+        program = build("if (g(1)) { skip; }")
+        simplify_structure(program)
+        assert "if (g(1))" in format_ir(program)
+
+    def test_nonempty_if_kept(self):
+        program = build("if (a) { x = 1; }")
+        assert simplify_structure(program) == 0
+
+    def test_single_thread_cobegin_spliced(self):
+        program = build("cobegin begin x = 1; end coend")
+        simplify_structure(program)
+        assert format_ir(program) == "x = 1;\n"
+
+    def test_multi_thread_cobegin_kept(self):
+        program = build("cobegin begin x = 1; end begin y = 2; end coend")
+        assert simplify_structure(program) == 0
+
+    def test_false_while_removed(self):
+        program = build("while (0) { x = 1; }")
+        simplify_structure(program)
+        assert format_ir(program) == ""
+
+    def test_true_while_kept(self):
+        program = build("while (1) { x = 1; }")
+        assert simplify_structure(program) == 0
+
+    def test_fixpoint_cascade(self):
+        # Emptying the inner if empties the outer if.
+        program = build("if (a) { if (b) { skip; } }")
+        simplify_structure(program)
+        assert format_ir(program) == ""

@@ -1,0 +1,140 @@
+"""Character-exact golden listings for the paper's Figures 3b–5b.
+
+These freeze the complete transformed programs.  Differences from the
+paper's typography: ``phi``/``pi`` spelled out (the paper uses glyphs),
+π temporaries named by their control argument (``tb0`` matches the
+paper; our ``ta...`` names differ from the paper's arbitrary ``ta12``),
+φ-argument order follows predecessor order (then-branch first), and in
+5b ``x0 = 13`` is *hoisted* rather than sunk (equivalent placement —
+see EXPERIMENTS.md).
+"""
+
+import textwrap
+
+from repro.cssame import build_cssame
+from repro.ir.printer import format_ir
+from repro.opt.pipeline import optimize
+from tests.conftest import FIGURE2_SOURCE, build
+
+
+def golden(text: str) -> str:
+    return textwrap.dedent(text).lstrip("\n")
+
+
+FIGURE_3B = golden(
+    """
+    a0 = 0;
+    b0 = 0;
+    cobegin
+    T0: begin
+        lock(L);
+        a1 = 5;
+        b1 = a1 + 3;
+        if (b1 > 4) {
+            a2 = a1 + b1;
+        }
+        a3 = phi(a2, a1);
+        x0 = a3;
+        unlock(L);
+    end
+    T1: begin
+        lock(L);
+        tb0 = pi(b0, b1);
+        a4 = tb0 + 6;
+        y0 = a4;
+        unlock(L);
+    end
+    coend
+    a5 = phi(a3, a4);
+    print(x0);
+    print(y0);
+    """
+)
+
+FIGURE_4B = golden(
+    """
+    a0 = 0;
+    b0 = 0;
+    cobegin
+    T0: begin
+        lock(L);
+        a1 = 5;
+        b1 = 8;
+        a2 = 13;
+        a3 = 13;
+        x0 = 13;
+        unlock(L);
+    end
+    T1: begin
+        lock(L);
+        tb0 = pi(b0, b1);
+        a4 = tb0 + 6;
+        y0 = a4;
+        unlock(L);
+    end
+    coend
+    a5 = phi(a3, a4);
+    print(x0);
+    print(y0);
+    """
+)
+
+FIGURE_5A = golden(
+    """
+    b0 = 0;
+    cobegin
+    T0: begin
+        lock(L);
+        b1 = 8;
+        x0 = 13;
+        unlock(L);
+    end
+    T1: begin
+        lock(L);
+        tb0 = pi(b0, b1);
+        a4 = tb0 + 6;
+        y0 = a4;
+        unlock(L);
+    end
+    coend
+    print(x0);
+    print(y0);
+    """
+)
+
+FIGURE_5B = golden(
+    """
+    b0 = 0;
+    cobegin
+    T0: begin
+        x0 = 13;
+        lock(L);
+        b1 = 8;
+        unlock(L);
+    end
+    T1: begin
+        lock(L);
+        tb0 = pi(b0, b1);
+        unlock(L);
+        a4 = tb0 + 6;
+        y0 = a4;
+    end
+    coend
+    print(x0);
+    print(y0);
+    """
+)
+
+
+def test_figure_3b_exact():
+    program = build(FIGURE2_SOURCE)
+    build_cssame(program)
+    assert format_ir(program) == FIGURE_3B
+
+
+def test_figures_4b_5a_5b_exact():
+    program = build(FIGURE2_SOURCE)
+    report = optimize(program, fold_output_uses=False)
+    assert report.listings["constprop"] == FIGURE_4B
+    assert report.listings["pdce"] == FIGURE_5A
+    assert report.listings["licm"] == FIGURE_5B

@@ -1,0 +1,78 @@
+"""Figure 1 — mutual exclusion reduces cross-thread data dependencies.
+
+Paper claims for the Figure 1 program:
+
+* the assignment ``a = a + b`` in T0 cannot reach the second use of
+  ``a`` in T1 (it is killed by ``a = 3``);
+* therefore ``g(a)`` is always called with ``a = 3`` — constant
+  propagation can prove it under CSSAME but not under plain CSSA.
+"""
+
+from repro.cssame import build_cssame, parallel_reaching_definitions
+from repro.ir.printer import format_ir
+from repro.ir.stmts import Pi, SAssign, SCallStmt
+from repro.ir.structured import clone_program, iter_statements
+from repro.opt import concurrent_constant_propagation
+from tests.conftest import FIGURE1_SOURCE, build
+
+
+def a_def(program, version):
+    return next(
+        s for s, _ in iter_statements(program)
+        if isinstance(s, SAssign) and s.target == "a" and s.version == version
+    )
+
+
+class TestFigure1:
+    def test_first_use_keeps_conflict(self, figure1):
+        build_cssame(figure1)
+        # f(a) in T1 runs unlocked before the critical section: the
+        # definition from T0 can still reach it.
+        f_call = next(
+            s for s, _ in iter_statements(figure1)
+            if isinstance(s, SCallStmt) and s.func == "f"
+        )
+        use = next(f_call.uses())
+        assert isinstance(use.def_site, Pi)
+
+    def test_second_use_loses_t0_def(self, figure1):
+        build_cssame(figure1)
+        info = parallel_reaching_definitions(figure1)
+        g_holder = next(
+            s for s, _ in iter_statements(figure1)
+            if isinstance(s, SAssign) and s.target == "b" and s.version == 1
+        )
+        reaching_a = set()
+        for use in g_holder.uses():
+            for d in info.defs(use):
+                if getattr(d, "target", None) == "a":
+                    reaching_a.add(d)
+        t0_def = a_def(figure1, 1)   # a = a + b in T0
+        t1_def = a_def(figure1, 2)   # a = 3 in T1
+        assert t1_def in reaching_a
+        assert t0_def not in reaching_a, (
+            "Theorem 2 should kill T0's def at the protected use"
+        )
+
+    def test_g_sees_constant_3_under_cssame(self):
+        program = build(FIGURE1_SOURCE)
+        form = build_cssame(program, prune=True)
+        concurrent_constant_propagation(program, form.graph)
+        text = format_ir(program)
+        assert "g(3)" in text, text
+
+    def test_g_not_constant_under_cssa(self):
+        program = build(FIGURE1_SOURCE)
+        form = build_cssame(program, prune=False)
+        concurrent_constant_propagation(program, form.graph)
+        text = format_ir(program)
+        assert "g(3)" not in text
+
+    def test_semantics_preserved(self):
+        from repro.opt import optimize
+        from repro.verify import exhaustive_equivalence
+
+        program = build(FIGURE1_SOURCE)
+        report = optimize(program)
+        res = exhaustive_equivalence(report.baseline, program)
+        assert res.complete and res.equal, res.explain()

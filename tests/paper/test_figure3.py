@@ -1,0 +1,109 @@
+"""Figure 3 — CSSA form (3a) vs CSSAME form (3b) of the Figure 2 program.
+
+Exact reproduction of the paper's π/φ structure:
+
+Figure 3a (CSSA): five π terms —
+    ta1  = π(a1, a4)          before  b = a + 3
+    ta11 = π(a1, a4)          before  a = a + b
+    π(a3, a4)                 before  x = a
+    tb0  = π(b0, b1)          before  a = b + 6
+    π(a4, a1, a2)             before  y = a
+plus φ terms a3 = φ(a1, a2) at the if-join and a5 = φ(a3, a4) at coend.
+
+Figure 3b (CSSAME): only tb0 = π(b0, b1) survives.
+"""
+
+from repro.cssame import build_cssame
+from repro.ir.printer import format_ir
+from repro.ir.stmts import Phi, Pi
+from repro.ir.structured import iter_statements
+from repro.report import measure_form
+from tests.conftest import build, FIGURE2_SOURCE
+
+
+def pis(program):
+    return [s for s, _ in iter_statements(program) if isinstance(s, Pi)]
+
+
+def phis(program):
+    return [s for s, _ in iter_statements(program) if isinstance(s, Phi)]
+
+
+def pi_signature(pi):
+    return (
+        pi.var_name,
+        pi.control.ssa_name,
+        frozenset(v.ssa_name for v in pi.conflicts),
+    )
+
+
+class TestFigure3a:
+    def test_five_pi_terms(self):
+        program = build(FIGURE2_SOURCE)
+        build_cssame(program, prune=False)
+        signatures = {pi_signature(p) for p in pis(program)}
+        assert signatures == {
+            ("a", "a1", frozenset({"a4"})),
+            ("a", "a1", frozenset({"a4"})) ,
+            ("a", "a3", frozenset({"a4"})),
+            ("b", "b0", frozenset({"b1"})),
+            ("a", "a4", frozenset({"a1", "a2"})),
+        }
+        assert len(pis(program)) == 5
+
+    def test_phi_terms(self):
+        program = build(FIGURE2_SOURCE)
+        build_cssame(program, prune=False)
+        phi_sigs = {
+            (p.ssa_target, frozenset(a.var.ssa_name for a in p.args))
+            for p in phis(program)
+        }
+        assert phi_sigs == {
+            ("a3", frozenset({"a1", "a2"})),
+            ("a5", frozenset({"a3", "a4"})),
+        }
+
+    def test_metrics(self):
+        program = build(FIGURE2_SOURCE)
+        build_cssame(program, prune=False)
+        m = measure_form(program)
+        assert m.pi_terms == 5
+        assert m.pi_args == 11  # 5 control + 6 conflict args
+        assert m.phi_terms == 2
+
+
+class TestFigure3b:
+    def test_single_surviving_pi(self):
+        program = build(FIGURE2_SOURCE)
+        build_cssame(program, prune=True)
+        assert [pi_signature(p) for p in pis(program)] == [
+            ("b", "b0", frozenset({"b1"}))
+        ]
+
+    def test_phis_unchanged(self):
+        program = build(FIGURE2_SOURCE)
+        build_cssame(program, prune=True)
+        assert {p.ssa_target for p in phis(program)} == {"a3", "a5"}
+
+    def test_listing_matches_paper_t0(self):
+        program = build(FIGURE2_SOURCE)
+        build_cssame(program, prune=True)
+        text = format_ir(program)
+        for line in (
+            "a1 = 5;",
+            "b1 = a1 + 3;",
+            "a2 = a1 + b1;",
+            "x0 = a3;",
+            "tb0 = pi(b0, b1);",
+            "a4 = tb0 + 6;",
+            "y0 = a4;",
+        ):
+            assert line in text, f"missing {line!r} in:\n{text}"
+        assert text.count("pi(") == 1
+
+    def test_reduction_stats(self):
+        program = build(FIGURE2_SOURCE)
+        form = build_cssame(program, prune=True)
+        s = form.rewrite_stats
+        assert (s.pis_before, s.pis_after) == (5, 1)
+        assert (s.args_before, s.args_after) == (6, 1)

@@ -1,0 +1,70 @@
+"""Figure 4 — constant propagation: CSSA (4a) vs CSSAME (4b).
+
+4a: the π terms make every value of ``a``/``b`` unknown in T0 — no
+constants propagate (conservatively correct but weak).
+
+4b: with the π terms pruned, T0 folds completely:
+    a1 = 5; b1 = 8; a2 = 13; a3 = 13; x0 = 13  (branch folded too),
+while T1 keeps tb0 = π(b0, b1) and stays symbolic.
+"""
+
+from repro.cssame import build_cssame
+from repro.ir.printer import format_ir
+from repro.opt import concurrent_constant_propagation
+from tests.conftest import FIGURE2_SOURCE, build
+
+
+def run(prune):
+    program = build(FIGURE2_SOURCE)
+    form = build_cssame(program, prune=prune)
+    stats = concurrent_constant_propagation(
+        program, form.graph, fold_output_uses=False
+    )
+    return program, stats, format_ir(program)
+
+
+class TestFigure4a:
+    def test_no_constants_in_t0(self):
+        _, stats, text = run(prune=False)
+        # T0's chain stays symbolic.
+        assert "b1 = ta1 + 3;" in text
+        assert "a2 = ta11 + b1;" in text
+        assert "x0 = ta3;" in text
+        assert "if (b1 > 4)" in text
+        # Only literal definitions are constant; nothing propagates.
+        assert set(stats.constants) == {"a0", "b0", "a1"}
+
+    def test_branch_not_folded(self):
+        _, stats, _ = run(prune=False)
+        assert stats.branches_folded == 0
+
+
+class TestFigure4b:
+    def test_t0_fully_constant(self):
+        _, stats, text = run(prune=True)
+        for line in ("a1 = 5;", "b1 = 8;", "a2 = 13;", "a3 = 13;", "x0 = 13;"):
+            assert line in text, f"missing {line!r}:\n{text}"
+
+    def test_branch_folded(self):
+        _, stats, text = run(prune=True)
+        assert stats.branches_folded == 1
+        assert "if" not in text
+
+    def test_t1_stays_symbolic(self):
+        _, _, text = run(prune=True)
+        assert "tb0 = pi(b0, b1);" in text
+        assert "a4 = tb0 + 6;" in text
+        assert "y0 = a4;" in text
+
+    def test_coend_phi_remains(self):
+        _, _, text = run(prune=True)
+        assert "a5 = phi(a3, a4);" in text
+
+    def test_prints_unfolded_like_paper(self):
+        _, _, text = run(prune=True)
+        assert "print(x0);" in text
+        assert "print(y0);" in text
+
+    def test_constants_found(self):
+        _, stats, _ = run(prune=True)
+        assert set(stats.constants) >= {"a0", "b0", "a1", "b1", "a2", "a3", "x0"}

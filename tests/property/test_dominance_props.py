@@ -1,0 +1,86 @@
+"""Property tests: dominance invariants on randomly generated programs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfg.builder import build_flow_graph
+from repro.cfg.dominance import (
+    compute_dominators,
+    compute_postdominators,
+    dominance_frontiers,
+)
+from repro.synth import GeneratorConfig, generate_program
+
+_configs = st.builds(
+    GeneratorConfig,
+    seed=st.integers(0, 10_000),
+    n_threads=st.integers(1, 3),
+    stmts_per_thread=st.integers(1, 6),
+    n_locks=st.integers(0, 2),
+    p_if=st.floats(0.0, 0.4),
+    p_while=st.floats(0.0, 0.3),
+    p_critical=st.floats(0.0, 0.8),
+)
+
+
+@given(_configs)
+@settings(max_examples=40, deadline=None)
+def test_dominator_tree_invariants(config):
+    graph = build_flow_graph(generate_program(config))
+    dom = compute_dominators(graph)
+    for block in graph.blocks:
+        # Entry dominates everything; everything dominates itself.
+        assert dom.dominates(graph.entry_id, block.id)
+        assert dom.dominates(block.id, block.id)
+        parent = dom.idom[block.id]
+        if block.id == graph.entry_id:
+            assert parent is None
+        else:
+            assert parent is not None
+            assert dom.strictly_dominates(parent, block.id)
+            # The idom dominates every other dominator (it is the
+            # closest): every strict dominator dominates the idom.
+            for other in graph.blocks:
+                if other.id not in (block.id, parent) and dom.strictly_dominates(
+                    other.id, block.id
+                ):
+                    assert dom.dominates(other.id, parent)
+
+
+@given(_configs)
+@settings(max_examples=40, deadline=None)
+def test_postdominator_duality(config):
+    graph = build_flow_graph(generate_program(config))
+    pdom = compute_postdominators(graph)
+    for block in graph.blocks:
+        assert pdom.dominates(graph.exit_id, block.id)
+
+
+@given(_configs)
+@settings(max_examples=30, deadline=None)
+def test_dominance_antisymmetric(config):
+    graph = build_flow_graph(generate_program(config))
+    dom = compute_dominators(graph)
+    for a in graph.blocks:
+        for b in graph.blocks:
+            if a.id != b.id:
+                assert not (
+                    dom.dominates(a.id, b.id) and dom.dominates(b.id, a.id)
+                )
+
+
+@given(_configs)
+@settings(max_examples=30, deadline=None)
+def test_dominance_frontier_definition(config):
+    """b ∈ DF(a) ⇔ a dominates a pred of b but not strictly b."""
+    graph = build_flow_graph(generate_program(config))
+    dom = compute_dominators(graph)
+    frontiers = dominance_frontiers(graph, dom)
+    for a in graph.blocks:
+        expected = set()
+        for b in graph.blocks:
+            if any(dom.dominates(a.id, p) for p in b.preds) and not (
+                dom.strictly_dominates(a.id, b.id)
+            ):
+                if b.preds:
+                    expected.add(b.id)
+        assert frontiers[a.id] == expected

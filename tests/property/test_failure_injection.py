@@ -1,0 +1,148 @@
+"""Failure injection: the verification harness must *catch* unsound
+transformations.
+
+A verifier that never fails is indistinguishable from one that checks
+nothing.  Each test below applies a deliberately broken "optimization"
+to a program crafted to expose it and asserts that exhaustive
+outcome-set comparison reports the difference.
+"""
+
+from repro.cssame import build_cssame
+from repro.ir.expr import EConst, EVar
+from repro.ir.stmts import Pi, SAssign
+from repro.ir.structured import clone_program, iter_statements, remove_stmt
+from repro.opt.licm import lock_independent_code_motion
+from repro.ssa.chains import build_use_map
+from repro.verify import exhaustive_equivalence
+from tests.conftest import build
+
+
+def cssame_with_baseline(source):
+    program = build(source)
+    build_cssame(program)
+    return program, clone_program(program)
+
+
+class TestInjectedBugs:
+    def test_dropping_live_pi_argument_detected(self):
+        """Unsoundly removing a reachable π conflict argument (a broken
+        Algorithm A.3) changes constant propagation's verdict and the
+        behaviour set."""
+        program, baseline = cssame_with_baseline(
+            """
+            v = 1;
+            cobegin
+            begin x = v; end
+            begin v = 2; end
+            coend
+            print(x);
+            """
+        )
+        pi = next(s for s, _ in iter_statements(program) if isinstance(s, Pi))
+        pi.conflicts = []  # INJECTED BUG: claim no concurrent def reaches
+        # Now "fold" the use the way constprop legitimately would.
+        usemap = build_use_map(program)
+        for use, holder in usemap.uses_of(pi):
+            use.name = pi.control.name
+            use.version = pi.control.version
+            use.def_site = pi.control.def_site
+        remove_stmt(pi)
+        x_assign = next(
+            s for s, _ in iter_statements(program)
+            if isinstance(s, SAssign) and s.target == "x"
+        )
+        x_assign.value = EConst(1)  # constant-fold through the bad chain
+
+        res = exhaustive_equivalence(baseline, program)
+        assert not res.equal
+        assert res.only_original  # the x = 2 behaviour disappeared
+
+    def test_unsafe_phi_store_detected(self):
+        """Materializing an upward-exposed φ as a store (the bug our
+        constprop guards against) must be caught."""
+        program, baseline = cssame_with_baseline(
+            """
+            s = 9;
+            cobegin
+            begin lock(L); t = s; unlock(L); end
+            begin lock(L); s = -11; unlock(L); end
+            coend
+            print(s);
+            """
+        )
+        # INJECTED BUG: write the control-flow value back as a store in
+        # the first thread, after its critical section.
+        t_assign = next(
+            s for s, _ in iter_statements(program)
+            if isinstance(s, SAssign) and s.target == "t"
+        )
+        bad_store = SAssign("s", EConst(9), version=99)
+        t_assign.parent.insert_after(t_assign, bad_store)
+
+        res = exhaustive_equivalence(baseline, program)
+        assert not res.equal
+        assert any(
+            o[-1] == ("print", (9,)) for o in res.only_transformed
+        )
+
+    def test_unsafe_hoist_detected(self):
+        """Moving a shared update out of its critical section (broken
+        LICM lock-independence) must be caught."""
+        program, baseline = cssame_with_baseline(
+            """
+            x = 0;
+            cobegin
+            begin lock(L); t1 = x; x = t1 + 1; unlock(L); end
+            begin lock(L); t2 = x; x = t2 + 1; unlock(L); end
+            coend
+            print(x);
+            """
+        )
+        # INJECTED BUG: hoist T0's read of x above the lock.
+        from repro.ir.stmts import SLock
+
+        t1_assign = next(
+            s for s, _ in iter_statements(program)
+            if isinstance(s, SAssign) and s.target.startswith("t1")
+        )
+        lock_stmt = next(
+            s for s, _ in iter_statements(program) if isinstance(s, SLock)
+        )
+        remove_stmt(t1_assign)
+        lock_stmt.parent.insert_before(lock_stmt, t1_assign)
+
+        res = exhaustive_equivalence(baseline, program)
+        assert not res.equal
+        # The hoisted read can now see 0 while the other thread already
+        # incremented: the lost update (print 1) becomes possible.
+        assert any(
+            o[-1] == ("print", (1,)) for o in res.only_transformed
+        )
+
+    def test_reordering_prints_detected(self):
+        program, baseline = cssame_with_baseline(
+            "print(1); print(2);"
+        )
+        first = program.body.items[0]
+        program.body.remove(first)
+        program.body.append(first)
+        res = exhaustive_equivalence(baseline, program)
+        assert not res.equal
+
+    def test_real_licm_on_same_program_is_clean(self):
+        """Control: the genuine LICM refuses the motion the injected
+        bug performed, and the verifier agrees."""
+        program, baseline = cssame_with_baseline(
+            """
+            x = 0;
+            cobegin
+            begin lock(L); t1 = x; x = t1 + 1; unlock(L); end
+            begin lock(L); t2 = x; x = t2 + 1; unlock(L); end
+            coend
+            print(x);
+            """
+        )
+        stats = lock_independent_code_motion(program)
+        assert stats.total_moved == 0  # everything is lock-dependent
+        res = exhaustive_equivalence(baseline, program)
+        assert res.equal

@@ -1,0 +1,99 @@
+"""Property tests: mutex structures and locksets on generated programs.
+
+The generator guarantees well-formed lock nesting, which gives us exact
+oracles: every emitted critical section must become one mutex body, and
+Definition 3's dominance conditions must hold for every body.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfg.builder import build_flow_graph
+from repro.cfg.dominance import compute_dominators, compute_postdominators
+from repro.ir.stmts import SLock
+from repro.ir.structured import iter_statements
+from repro.mutex.identify import identify_mutex_structures
+from repro.mutex.lockset import compute_locksets
+from repro.mutex.warnings import check_synchronization
+from repro.synth import GeneratorConfig, generate_program
+
+_configs = st.builds(
+    GeneratorConfig,
+    seed=st.integers(0, 10_000),
+    n_threads=st.integers(1, 3),
+    stmts_per_thread=st.integers(1, 6),
+    n_locks=st.integers(1, 3),
+    p_critical=st.floats(0.3, 0.9),
+    p_if=st.floats(0.0, 0.3),
+    p_while=st.floats(0.0, 0.2),
+)
+
+
+@given(_configs)
+@settings(max_examples=40, deadline=None)
+def test_every_section_becomes_a_body(config):
+    program = generate_program(config)
+    graph = build_flow_graph(program)
+    structures = identify_mutex_structures(graph)
+    lock_count = sum(
+        1 for s, _ in iter_statements(program) if isinstance(s, SLock)
+    )
+    body_count = sum(len(s) for s in structures.values())
+    assert body_count == lock_count
+    assert check_synchronization(graph, structures) == []
+
+
+@given(_configs)
+@settings(max_examples=40, deadline=None)
+def test_definition3_conditions(config):
+    program = generate_program(config)
+    graph = build_flow_graph(program)
+    dom = compute_dominators(graph)
+    pdom = compute_postdominators(graph)
+    structures = identify_mutex_structures(graph)
+    for structure in structures.values():
+        for body in structure.bodies:
+            # Condition 2: n DOM x and x PDOM n.
+            assert dom.dominates(body.lock_node, body.unlock_node)
+            assert pdom.dominates(body.unlock_node, body.lock_node)
+            # Membership: strictly dominated by n, post-dominated by x.
+            for member in body.nodes:
+                assert dom.strictly_dominates(body.lock_node, member)
+                assert pdom.dominates(body.unlock_node, member)
+            assert body.unlock_node in body.nodes
+            assert body.lock_node not in body.nodes
+
+
+@given(_configs)
+@settings(max_examples=30, deadline=None)
+def test_bodies_of_one_lock_disjoint(config):
+    program = generate_program(config)
+    graph = build_flow_graph(program)
+    structures = identify_mutex_structures(graph)
+    for structure in structures.values():
+        seen: set[int] = set()
+        for body in structure.bodies:
+            assert not (body.nodes & seen)
+            seen |= body.nodes
+
+
+@given(_configs)
+@settings(max_examples=30, deadline=None)
+def test_lockset_interior_consistency(config):
+    """Every interior node of a body holds that body's lock; blocks in
+    no body hold nothing from that structure."""
+    program = generate_program(config)
+    graph = build_flow_graph(program)
+    structures = identify_mutex_structures(graph)
+    locksets = compute_locksets(graph, structures)
+    for lock_name, structure in structures.items():
+        member_blocks = set()
+        for body in structure.bodies:
+            member_blocks |= body.interior_nodes() | {body.lock_node}
+            for block_id in body.interior_nodes():
+                assert lock_name in locksets[block_id]
+        for block in graph.blocks:
+            if block.id not in member_blocks and lock_name in locksets[block.id]:
+                # only the unlock node of another body may be excluded
+                raise AssertionError(
+                    f"{lock_name} held outside its bodies at B{block.id}"
+                )

@@ -1,0 +1,129 @@
+"""Property tests: every optimization pass preserves the outcome set.
+
+Equality is checked against the CSSAME-form baseline (identical
+read/write granularity — see the atomicity contract in
+repro.verify.equivalence); additionally the original source program must
+*refine into* its CSSA form.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.structured import clone_program
+from repro.opt import (
+    concurrent_constant_propagation,
+    lock_independent_code_motion,
+    parallel_dead_code_elimination,
+)
+from repro.opt.pipeline import optimize
+from repro.cssame import build_cssame
+from repro.synth import GeneratorConfig, generate_program
+from repro.verify import exhaustive_equivalence, exhaustive_refinement
+
+_configs = st.builds(
+    GeneratorConfig,
+    seed=st.integers(0, 5_000),
+    n_threads=st.just(2),
+    stmts_per_thread=st.integers(1, 4),
+    n_shared=st.integers(1, 2),
+    n_private=st.integers(0, 1),
+    n_locks=st.integers(0, 2),
+    p_if=st.floats(0.0, 0.3),
+    p_critical=st.floats(0.0, 0.9),
+    p_call=st.floats(0.0, 0.2),
+    race_free=st.booleans(),
+)
+
+_MAX_STATES = 120_000
+
+
+def _check(baseline, transformed):
+    res = exhaustive_equivalence(baseline, transformed, max_states=_MAX_STATES)
+    if not res.complete:
+        return  # exploration budget exceeded — skip
+    assert res.equal, res.explain()
+
+
+@given(_configs)
+@settings(max_examples=20, deadline=None)
+def test_source_refines_into_cssa_form(config):
+    source = generate_program(config)
+    pristine = clone_program(source)
+    build_cssame(source, prune=False)
+    res = exhaustive_refinement(pristine, source, max_states=_MAX_STATES)
+    if res.complete:
+        assert res.equal, res.explain()
+
+
+@given(_configs)
+@settings(max_examples=20, deadline=None)
+def test_constprop_preserves_outcomes(config):
+    program = generate_program(config)
+    form = build_cssame(program)
+    baseline = clone_program(program)
+    concurrent_constant_propagation(program, form.graph)
+    _check(baseline, program)
+
+
+@given(_configs)
+@settings(max_examples=20, deadline=None)
+def test_pdce_preserves_outcomes(config):
+    program = generate_program(config)
+    build_cssame(program)
+    baseline = clone_program(program)
+    parallel_dead_code_elimination(program)
+    _check(baseline, program)
+
+
+@given(_configs)
+@settings(max_examples=20, deadline=None)
+def test_licm_preserves_outcomes(config):
+    program = generate_program(config)
+    build_cssame(program)
+    baseline = clone_program(program)
+    lock_independent_code_motion(program)
+    _check(baseline, program)
+
+
+@given(_configs)
+@settings(max_examples=20, deadline=None)
+def test_full_pipeline_preserves_outcomes(config):
+    program = generate_program(config)
+    report = optimize(program)
+    _check(report.baseline, program)
+
+
+@given(_configs)
+@settings(max_examples=15, deadline=None)
+def test_pipeline_without_mutex_also_sound(config):
+    program = generate_program(config)
+    report = optimize(program, use_mutex=False)
+    _check(report.baseline, program)
+
+
+@given(_configs)
+@settings(max_examples=20, deadline=None)
+def test_lvn_preserves_outcomes(config):
+    from repro.opt import local_value_numbering
+
+    program = generate_program(config)
+    build_cssame(program)
+    baseline = clone_program(program)
+    local_value_numbering(program)
+    _check(baseline, program)
+
+
+@given(_configs)
+@settings(max_examples=15, deadline=None)
+def test_extended_pipeline_with_lvn(config):
+    program = generate_program(config)
+    report = optimize(program, passes=("constprop", "lvn", "pdce", "licm"))
+    _check(report.baseline, program)
+
+
+@given(_configs, st.integers(1, 2))
+@settings(max_examples=15, deadline=None)
+def test_pipeline_sound_with_barriers(config, n_barriers):
+    config.n_barriers = n_barriers
+    program = generate_program(config)
+    report = optimize(program)
+    _check(report.baseline, program)

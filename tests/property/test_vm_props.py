@@ -1,0 +1,81 @@
+"""Property tests for the VM and the exhaustive explorer."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.synth import GeneratorConfig, generate_program
+from repro.vm.explore import explore
+from repro.vm.machine import VirtualMachine, run_random
+
+_configs = st.builds(
+    GeneratorConfig,
+    seed=st.integers(0, 5_000),
+    n_threads=st.integers(1, 3),
+    stmts_per_thread=st.integers(1, 4),
+    n_shared=st.integers(1, 2),
+    n_locks=st.integers(0, 2),
+    p_if=st.floats(0.0, 0.3),
+    p_critical=st.floats(0.0, 0.8),
+)
+
+
+@given(_configs, st.integers(0, 100))
+@settings(max_examples=25, deadline=None)
+def test_runs_deterministic_per_seed(config, seed):
+    program = generate_program(config)
+    a = run_random(program, seed=seed)
+    b = run_random(program, seed=seed)
+    assert a.events == b.events
+    assert a.memory == b.memory
+    assert a.steps == b.steps
+
+
+@given(_configs)
+@settings(max_examples=15, deadline=None)
+def test_random_outcomes_subset_of_explored(config):
+    program = generate_program(config)
+    res = explore(program, max_states=100_000)
+    if not res.complete:
+        return
+    for seed in range(12):
+        ex = run_random(program, seed=seed, raise_on_deadlock=False)
+        assert ex.output_key() in res.outcomes
+
+
+@given(_configs, st.integers(0, 50))
+@settings(max_examples=25, deadline=None)
+def test_mutual_exclusion_invariant(config, seed):
+    """At every step, each lock has at most one owner and the owner is a
+    live thread (checked by instrumenting the machine)."""
+    program = generate_program(config)
+    vm = VirtualMachine(program, seed=seed)
+    original_step = vm._step
+
+    def checked_step(thread):
+        original_step(thread)
+        for lock, owner in vm.locks.items():
+            assert owner in vm.threads
+            assert vm.threads[owner].status != "done"
+
+    vm._step = checked_step
+    vm.run(raise_on_deadlock=False)
+
+
+@given(_configs, st.integers(0, 50))
+@settings(max_examples=20, deadline=None)
+def test_lock_instrumentation_consistent(config, seed):
+    program = generate_program(config)
+    ex = run_random(program, seed=seed, raise_on_deadlock=False)
+    for lock, held in ex.lock_held_steps.items():
+        assert held >= 0
+        # A lock is held only after at least one acquisition.
+        assert ex.lock_acquisitions.get(lock, 0) >= 1
+
+
+@given(_configs)
+@settings(max_examples=15, deadline=None)
+def test_race_free_generated_programs_never_deadlock(config):
+    config.race_free = True
+    program = generate_program(config)
+    res = explore(program, max_states=100_000)
+    if res.complete:
+        assert not res.can_deadlock

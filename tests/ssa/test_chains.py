@@ -1,0 +1,56 @@
+"""FUD chains and the reverse use map."""
+
+from repro.cfg.builder import build_flow_graph
+from repro.ir.stmts import Phi, SAssign
+from repro.ir.structured import iter_statements
+from repro.ssa.chains import build_use_map, defs_in_program, iter_uses
+from repro.ssa.construct import build_ssa
+from tests.conftest import build
+
+
+def ssa(source):
+    program = build(source)
+    build_ssa(program, build_flow_graph(program))
+    return program
+
+
+class TestUseMap:
+    def test_uses_of_def(self):
+        program = ssa("a = 1; b = a; c = a + a;")
+        usemap = build_use_map(program)
+        a_def = next(
+            s for s, _ in iter_statements(program)
+            if isinstance(s, SAssign) and s.target == "a"
+        )
+        assert len(usemap.uses_of(a_def)) == 3
+
+    def test_dead_def(self):
+        program = ssa("a = 1; b = 2; print(b);")
+        usemap = build_use_map(program)
+        a_def = next(
+            s for s, _ in iter_statements(program)
+            if isinstance(s, SAssign) and s.target == "a"
+        )
+        assert usemap.is_dead(a_def)
+
+    def test_phi_args_are_uses(self):
+        program = ssa("a = 1; if (c) { a = 2; } print(a);")
+        usemap = build_use_map(program)
+        defs = [
+            s for s, _ in iter_statements(program)
+            if isinstance(s, SAssign) and s.target == "a"
+        ]
+        for d in defs:
+            holders = usemap.holders_of(d)
+            assert any(isinstance(h, Phi) for h in holders)
+
+    def test_iter_uses_includes_branch_conditions(self):
+        program = ssa("a = 1; if (a > 0) { b = 2; }")
+        holders = {type(h).__name__ for _u, h in iter_uses(program)}
+        assert "SBranch" in holders
+
+    def test_defs_in_program(self):
+        program = ssa("a = 1; if (c) { a = 2; } print(a);")
+        defs = defs_in_program(program)
+        kinds = sorted(type(d).__name__ for d in defs)
+        assert kinds == ["Phi", "SAssign", "SAssign"]

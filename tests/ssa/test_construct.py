@@ -1,0 +1,194 @@
+"""SSA construction: φ placement, renaming, coend trimming."""
+
+import pytest
+
+from repro.cfg.builder import build_flow_graph
+from repro.errors import SSAError
+from repro.ir.stmts import Phi, SAssign
+from repro.ir.structured import iter_statements
+from repro.ssa.construct import build_ssa
+from repro.ssa.names import EntryDef
+from tests.conftest import build
+
+
+def ssa(source):
+    program = build(source)
+    graph = build_flow_graph(program)
+    ctx = build_ssa(program, graph)
+    return program, graph, ctx
+
+
+def assigns(program):
+    return [s for s, _ in iter_statements(program) if isinstance(s, SAssign)]
+
+
+def phis(program):
+    return [s for s, _ in iter_statements(program) if isinstance(s, Phi)]
+
+
+class TestRenaming:
+    def test_versions_start_at_zero(self):
+        program, _, _ = ssa("a = 1; a = 2;")
+        assert [s.version for s in assigns(program)] == [0, 1]
+
+    def test_uses_stamped_with_reaching_version(self):
+        program, _, _ = ssa("a = 1; b = a; a = 2; c = a;")
+        b_assign = next(s for s in assigns(program) if s.target == "b")
+        c_assign = next(s for s in assigns(program) if s.target == "c")
+        assert next(b_assign.uses()).version == 0
+        assert next(c_assign.uses()).version == 1
+
+    def test_chain_links_point_to_defs(self):
+        program, _, _ = ssa("a = 1; b = a;")
+        a_def = next(s for s in assigns(program) if s.target == "a")
+        b_assign = next(s for s in assigns(program) if s.target == "b")
+        assert next(b_assign.uses()).def_site is a_def
+
+    def test_use_before_def_chains_to_entry(self):
+        program, _, ctx = ssa("b = a;")
+        use = next(assigns(program)[0].uses())
+        assert isinstance(use.def_site, EntryDef)
+        assert use.version is None
+
+    def test_single_assignment_property(self):
+        program, _, _ = ssa("a = 1; if (a) { a = 2; } a = a + 1;")
+        seen = set()
+        for s, _ in iter_statements(program):
+            name = s.def_name()
+            if name is not None:
+                key = (name, s.def_version())
+                assert key not in seen
+                seen.add(key)
+
+
+class TestPhiPlacement:
+    def test_if_join_phi(self):
+        program, _, _ = ssa("a = 1; if (c) { a = 2; } print(a);")
+        (phi,) = phis(program)
+        assert phi.target == "a"
+        assert len(phi.args) == 2
+        versions = {arg.var.version for arg in phi.args}
+        assert versions == {0, 1}
+
+    def test_no_phi_without_branch_defs(self):
+        program, _, _ = ssa("a = 1; if (c) { b = 2; } print(a);")
+        assert [p.target for p in phis(program)] == ["b"]
+
+    def test_loop_header_phi(self):
+        program, _, _ = ssa("i = 0; while (i < 3) { i = i + 1; } print(i);")
+        (phi,) = phis(program)
+        assert phi.target == "i"
+        region = program.body.items[1]
+        assert phi in region.header_phis
+
+    def test_phi_args_in_pred_order(self):
+        program, graph, _ = ssa("a = 1; if (c) { a = 2; } else { a = 3; } print(a);")
+        (phi,) = phis(program)
+        block = graph.block_of(phi)
+        assert [arg.pred_block for arg in phi.args] == block.preds
+
+    def test_nested_if_phis(self):
+        program, _, _ = ssa(
+            "a = 0; if (c) { if (d) { a = 1; } } print(a);"
+        )
+        assert len(phis(program)) == 2  # inner join + outer join
+
+    def test_phi_placed_in_structured_tree(self):
+        program, _, _ = ssa("a = 1; if (c) { a = 2; } print(a);")
+        (phi,) = phis(program)
+        assert phi.parent is program.body
+        # φ sits between the if region and the print.
+        index = program.body.index(phi)
+        from repro.ir.structured import IfRegion
+
+        assert isinstance(program.body.items[index - 1], IfRegion)
+
+
+class TestCoendTrimming:
+    def test_two_defining_threads_keep_phi(self):
+        program, _, _ = ssa(
+            "cobegin begin a = 1; end begin a = 2; end coend print(a);"
+        )
+        (phi,) = phis(program)
+        assert len(phi.args) == 2
+        assert {arg.thread_index for arg in phi.args} == {0, 1}
+
+    def test_single_defining_thread_no_phi(self):
+        program, _, _ = ssa(
+            "cobegin begin a = 1; end begin b = 2; end coend print(a);"
+        )
+        assert phis(program) == []
+        # print(a) chains straight to the defining thread's assignment.
+        prints = [s for s, _ in iter_statements(program) if s.to_str().startswith("print")]
+        use = next(prints[0].uses())
+        assert isinstance(use.def_site, SAssign)
+        assert use.def_site.target == "a"
+
+    def test_nondefining_thread_arg_dropped(self):
+        program, _, _ = ssa(
+            """
+            a = 0;
+            cobegin
+            begin a = 1; end
+            begin a = 2; end
+            begin b = 3; end
+            coend
+            print(a);
+            """
+        )
+        (phi,) = [p for p in phis(program) if p.target == "a"]
+        assert len(phi.args) == 2  # the b-thread contributed nothing
+
+    def test_conditional_def_in_thread_counts(self):
+        program, _, _ = ssa(
+            """
+            a = 0;
+            cobegin
+            begin if (c) { a = 1; } end
+            begin a = 2; end
+            coend
+            print(a);
+            """
+        )
+        coend_phis = [p for p in phis(program) if p.target == "a"]
+        # inner if-join φ + coend φ
+        assert len(coend_phis) == 2
+
+    def test_nested_cobegin_trimming(self):
+        program, _, _ = ssa(
+            """
+            cobegin
+            begin
+                cobegin begin a = 1; end begin a = 2; end coend
+            end
+            begin b = 3; end
+            coend
+            print(a);
+            """
+        )
+        a_phis = [p for p in phis(program) if p.target == "a"]
+        # inner coend merges the two defs; outer coend is superfluous
+        # (only one outer thread defines a).
+        assert len(a_phis) == 1
+        assert len(a_phis[0].args) == 2
+
+    def test_figure2_names(self, figure2):
+        graph = build_flow_graph(figure2)
+        build_ssa(figure2, graph)
+        names = {
+            f"{s.target}{s.version}"
+            for s, _ in iter_statements(figure2)
+            if isinstance(s, SAssign)
+        }
+        assert names == {"a0", "b0", "a1", "b1", "a2", "x0", "a4", "y0"}
+        phi_names = {f"{p.target}{p.version}" for p in phis(figure2)}
+        assert phi_names == {"a3", "a5"}
+
+
+class TestConstructionGuards:
+    def test_rejects_ssa_form_input(self, figure2):
+        graph = build_flow_graph(figure2)
+        build_ssa(figure2, graph)
+        graph2 = build_flow_graph(figure2)
+        with pytest.raises(SSAError):
+            build_ssa(figure2, graph2)

@@ -1,0 +1,63 @@
+"""SSA destruction."""
+
+from repro.cssame import build_cssame
+from repro.ir.printer import format_ir
+from repro.ir.stmts import Phi, Pi, SAssign
+from repro.ir.structured import iter_statements
+from repro.ssa.destruct import destruct_ssa
+from repro.verify import deterministic_output
+from repro.vm import run_random
+from tests.conftest import build, FIGURE2_SOURCE
+
+
+class TestDestruct:
+    def test_phis_and_pis_removed(self, figure2):
+        build_cssame(figure2, prune=False)
+        destruct_ssa(figure2)
+        for stmt, _ in iter_statements(figure2):
+            assert not isinstance(stmt, (Phi, Pi))
+
+    def test_pi_becomes_copy(self, figure2):
+        build_cssame(figure2, prune=False)
+        n_pis = sum(
+            1 for s, _ in iter_statements(figure2) if isinstance(s, Pi)
+        )
+        destruct_ssa(figure2)
+        text = format_ir(figure2)
+        # Each π became a plain copy "tXY = base;".
+        assert n_pis > 0
+        assert text.count("= a;") + text.count("= b;") >= n_pis
+
+    def test_versions_cleared(self, figure2):
+        build_cssame(figure2)
+        destruct_ssa(figure2)
+        for stmt, _ in iter_statements(figure2):
+            if isinstance(stmt, SAssign):
+                assert stmt.version is None
+            for use in stmt.uses():
+                assert use.version is None
+                assert use.def_site is None
+
+    def test_destructed_program_reanalyzable(self, figure2):
+        build_cssame(figure2)
+        destruct_ssa(figure2)
+        form = build_cssame(figure2)  # must not raise
+        assert form.graph is not None
+
+    def test_destruction_preserves_output(self):
+        # Deterministic (fully locked) program: output must be identical
+        # before CSSAME and after destruct.
+        src = """
+        x = 0;
+        cobegin
+        begin lock(L); x = x + 1; unlock(L); end
+        begin lock(L); x = x + 2; unlock(L); end
+        coend
+        print(x);
+        """
+        plain = build(src)
+        expected = deterministic_output(plain)
+        program = build(src)
+        build_cssame(program)
+        destruct_ssa(program)
+        assert deterministic_output(program) == expected

@@ -1,0 +1,60 @@
+"""Named workload families."""
+
+from repro.cfg.builder import build_flow_graph
+from repro.mutex.identify import identify_mutex_structures
+from repro.synth import (
+    bank_accounts,
+    event_pipeline,
+    licm_padding,
+    lock_density_sweep,
+    paper_figure1,
+    paper_figure2,
+    shared_counters,
+)
+from repro.verify import deterministic_output
+from repro.vm.machine import run_random
+
+
+class TestWorkloads:
+    def test_bank_conserves_money(self):
+        program = bank_accounts(n_threads=3, n_transfers=2)
+        for seed in range(6):
+            ex = run_random(program, seed=seed)
+            (b0, b1) = ex.printed[-1]
+            assert b0 + b1 == 200
+
+    def test_counters_deterministic(self):
+        program = shared_counters(n_threads=2, n_counters=2, n_incr=2)
+        out = deterministic_output(program, seeds=range(8))
+        # 2 threads × 2 increments spread over 2 counters → 2 each.
+        assert out == (("print", (2, 2)),)
+
+    def test_event_pipeline_deterministic(self):
+        program = event_pipeline(n_stages=3)
+        out = deterministic_output(program, seeds=range(8))
+        # data1 = 1*2+0 = 2; data2 = 2*2+1 = 5; data3 = 5*2+2 = 12
+        assert out == (("print", (12,)),)
+
+    def test_licm_padding_has_movable_code(self):
+        from repro.cssame import build_cssame
+        from repro.opt import lock_independent_code_motion
+
+        program = licm_padding(n_threads=2, n_private_stmts=3)
+        build_cssame(program)
+        stats = lock_independent_code_motion(program)
+        assert stats.total_moved >= 4
+
+    def test_sweep_lock_fraction(self):
+        p_full = lock_density_sweep(1.0)
+        p_none = lock_density_sweep(0.0)
+        g_full = build_flow_graph(p_full)
+        g_none = build_flow_graph(p_none)
+        assert len(identify_mutex_structures(g_full)["D"]) == 2
+        assert "D" not in identify_mutex_structures(g_none)
+
+    def test_paper_programs_build(self):
+        from repro.cssame import build_cssame
+
+        for mk in (paper_figure1, paper_figure2):
+            form = build_cssame(mk())
+            assert form.rewrite_stats.args_removed > 0

@@ -1,0 +1,48 @@
+"""Error-type hierarchy tests."""
+
+import pytest
+
+from repro import errors
+
+
+def test_hierarchy():
+    for cls in (
+        errors.LexError,
+        errors.ParseError,
+        errors.SemanticError,
+        errors.CFGError,
+        errors.SSAError,
+        errors.AnalysisError,
+        errors.TransformError,
+        errors.VMError,
+    ):
+        assert issubclass(cls, errors.ReproError)
+    assert issubclass(errors.DeadlockError, errors.VMError)
+    assert issubclass(errors.StepLimitExceeded, errors.VMError)
+
+
+def test_source_location():
+    loc = errors.SourceLocation(3, 7)
+    assert str(loc) == "3:7"
+    assert loc == errors.SourceLocation(3, 7)
+    assert loc != errors.SourceLocation(3, 8)
+    assert hash(loc) == hash(errors.SourceLocation(3, 7))
+
+
+def test_lex_error_message_includes_location():
+    err = errors.LexError("bad char", errors.SourceLocation(2, 5))
+    assert "2:5" in str(err)
+    assert err.location.line == 2
+
+
+def test_deadlock_error_payload():
+    err = errors.DeadlockError({(0,), (1,)}, {"L": (0,)})
+    assert err.blocked_threads == ((0,), (1,))
+    assert err.held_locks == {"L": (0,)}
+    assert "deadlock" in str(err)
+
+
+def test_step_limit_payload():
+    err = errors.StepLimitExceeded(500)
+    assert err.limit == 500
+    assert "500" in str(err)

@@ -1,0 +1,98 @@
+"""Equivalence/refinement checkers."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.verify import (
+    deterministic_output,
+    exhaustive_equivalence,
+    exhaustive_refinement,
+    sampled_equivalence,
+)
+from tests.conftest import build
+
+
+class TestExhaustive:
+    def test_identical_programs_equal(self):
+        a = build("x = 1; print(x);")
+        b = build("x = 1; print(x);")
+        res = exhaustive_equivalence(a, b)
+        assert res.equal and res.complete
+
+    def test_different_programs_differ(self):
+        a = build("print(1);")
+        b = build("print(2);")
+        res = exhaustive_equivalence(a, b)
+        assert not res.equal
+        assert res.only_original and res.only_transformed
+        assert "only original" in res.explain()
+
+    def test_semantically_equal_syntactically_different(self):
+        a = build("x = 2 + 2; print(x);")
+        b = build("print(4);")
+        res = exhaustive_equivalence(a, b)
+        assert res.equal
+
+    def test_refinement_direction(self):
+        # b exposes more interleavings (split read/write) but contains
+        # every outcome of a.
+        a = build(
+            """
+            x = 0;
+            cobegin
+            begin x = x + 1; end
+            begin x = 5; end
+            coend
+            print(x);
+            """
+        )
+        b = build(
+            """
+            x = 0;
+            cobegin
+            begin t = x; x = t + 1; end
+            begin x = 5; end
+            coend
+            print(x);
+            """
+        )
+        res = exhaustive_refinement(a, b)
+        assert res.equal  # subset holds
+        strict = exhaustive_equivalence(a, b)
+        assert not strict.equal  # refinement is strict here
+
+
+class TestSampled:
+    def test_identical_sampled(self):
+        a = build("cobegin begin print(1); end begin print(2); end coend")
+        b = build("cobegin begin print(1); end begin print(2); end coend")
+        res = sampled_equivalence(a, b, seeds=range(40))
+        assert res.equal
+
+    def test_detects_gross_difference(self):
+        a = build("print(1);")
+        b = build("print(2);")
+        res = sampled_equivalence(a, b, seeds=range(4))
+        assert not res.equal
+
+
+class TestDeterministicOutput:
+    def test_deterministic_program(self):
+        p = build(
+            """
+            x = 0;
+            cobegin
+            begin lock(L); x = x + 1; unlock(L); end
+            begin lock(L); x = x + 2; unlock(L); end
+            coend
+            print(x);
+            """
+        )
+        assert deterministic_output(p) == (("print", (3,)),)
+
+    def test_nondeterministic_raises(self):
+        p = build(
+            "cobegin begin x = 1; end begin x = 2; end coend print(x);"
+        )
+        with pytest.raises(AnalysisError):
+            deterministic_output(p, seeds=range(40))

@@ -1,0 +1,90 @@
+"""Bytecode container and disassembly."""
+
+from repro.vm.bytecode import Instr, Op, VMProgram
+from repro.vm.compile import compile_program
+from tests.conftest import build
+
+
+class TestDisassembly:
+    def test_every_op_renders(self):
+        source = """
+        a = 1;
+        print(a);
+        f(a);
+        lock(L); unlock(L);
+        set(e); wait(e);
+        cobegin begin barrier(B); end coend
+        if (a) { b = 2; } else { b = 3; }
+        while (a < 5) { a = a + 1; }
+        """
+        prog = compile_program(build(source))
+        text = prog.disassemble()
+        ops = {i.op for i in prog.instrs}
+        assert ops >= {
+            Op.ASSIGN, Op.PRINT, Op.CALL, Op.LOCK, Op.UNLOCK,
+            Op.SET, Op.WAIT, Op.BARRIER, Op.COBEGIN, Op.END_THREAD,
+            Op.BRANCH, Op.JUMP, Op.HALT,
+        }
+        for fragment in ("a = 1", "print(a)", "f(a)", "lock(L)",
+                         "unlock(L)", "set(e)", "wait(e)", "barrier(B)",
+                         "spawn", "goto", "if !("):
+            assert fragment in text, fragment
+
+    def test_pc_labels_align(self):
+        prog = compile_program(build("a = 1; b = 2;"))
+        lines = prog.disassemble().splitlines()
+        assert lines[0].strip().startswith("0:")
+        assert len(lines) == len(prog)
+
+    def test_instr_repr(self):
+        instr = Instr(Op.JUMP, target=5)
+        assert "jump" in repr(instr) and "->5" in repr(instr)
+
+    def test_vmprogram_len(self):
+        prog = VMProgram([Instr(Op.HALT)])
+        assert len(prog) == 1
+
+
+class TestBarrierCounts:
+    def test_participant_count_encoded(self):
+        prog = compile_program(
+            build(
+                """
+                cobegin
+                begin barrier(B); end
+                begin barrier(B); end
+                begin x = 1; end
+                coend
+                """
+            )
+        )
+        barriers = [i for i in prog.instrs if i.op is Op.BARRIER]
+        assert [b.target for b in barriers] == [2, 2]
+
+    def test_toplevel_barrier_count_one(self):
+        prog = compile_program(build("barrier(B);"))
+        (b,) = [i for i in prog.instrs if i.op is Op.BARRIER]
+        assert b.target == 1
+
+    def test_nested_scope_counts(self):
+        prog = compile_program(
+            build(
+                """
+                cobegin
+                begin
+                    barrier(OUTER);
+                    cobegin
+                    begin barrier(INNER); end
+                    begin barrier(INNER); end
+                    coend
+                end
+                begin barrier(OUTER); end
+                coend
+                """
+            )
+        )
+        by_name = {}
+        for i in prog.instrs:
+            if i.op is Op.BARRIER:
+                by_name.setdefault(i.name, set()).add(i.target)
+        assert by_name == {"OUTER": {2}, "INNER": {2}}

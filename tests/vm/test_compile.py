@@ -1,0 +1,80 @@
+"""Structured IR → bytecode compilation."""
+
+from repro.cssame import build_cssame
+from repro.vm.bytecode import Op
+from repro.vm.compile import compile_program
+from tests.conftest import build
+
+
+def ops(source):
+    return [i.op for i in compile_program(build(source)).instrs]
+
+
+class TestShapes:
+    def test_straightline(self):
+        assert ops("a = 1; print(a);") == [Op.ASSIGN, Op.PRINT, Op.HALT]
+
+    def test_if_else(self):
+        sequence = ops("if (c) { a = 1; } else { a = 2; } b = 3;")
+        assert sequence == [
+            Op.BRANCH, Op.ASSIGN, Op.JUMP, Op.ASSIGN, Op.ASSIGN, Op.HALT,
+        ]
+
+    def test_if_no_else_has_no_jump(self):
+        assert ops("if (c) { a = 1; } b = 2;") == [
+            Op.BRANCH, Op.ASSIGN, Op.ASSIGN, Op.HALT,
+        ]
+
+    def test_branch_target_points_past_then(self):
+        prog = compile_program(build("if (c) { a = 1; } b = 2;"))
+        assert prog.instrs[0].target == 2
+
+    def test_while_shape(self):
+        prog = compile_program(build("while (c) { a = 1; } b = 2;"))
+        sequence = [i.op for i in prog.instrs]
+        assert sequence == [Op.BRANCH, Op.ASSIGN, Op.JUMP, Op.ASSIGN, Op.HALT]
+        assert prog.instrs[2].target == 0  # back edge
+        assert prog.instrs[0].target == 3  # exit
+
+    def test_cobegin_layout(self):
+        prog = compile_program(
+            build("cobegin begin a = 1; end begin b = 2; end coend c = 3;")
+        )
+        cob = prog.instrs[0]
+        assert cob.op is Op.COBEGIN
+        assert len(cob.entries) == 2
+        for entry in cob.entries:
+            assert prog.instrs[entry].op is Op.ASSIGN
+        assert prog.instrs[cob.target].op is Op.ASSIGN  # parent resume
+        ends = [i for i in prog.instrs if i.op is Op.END_THREAD]
+        assert len(ends) == 2
+
+    def test_sync_instructions(self):
+        assert ops("lock(L); unlock(L); set(e); wait(e);") == [
+            Op.LOCK, Op.UNLOCK, Op.SET, Op.WAIT, Op.HALT,
+        ]
+
+    def test_skip_emits_nothing(self):
+        assert ops("skip;") == [Op.HALT]
+
+
+class TestSSAForms:
+    def test_phi_is_noop(self, figure2):
+        build_cssame(figure2, prune=False)
+        prog = compile_program(figure2)
+        # φ terms vanish; π terms become ASSIGN copies.
+        from repro.ir.structured import iter_statements
+        from repro.ir.stmts import Pi
+
+        n_pis = sum(1 for s, _ in iter_statements(figure2) if isinstance(s, Pi))
+        pi_copies = [
+            i for i in prog.instrs
+            if i.op is Op.ASSIGN and i.name and i.name.startswith("t")
+        ]
+        assert len(pi_copies) == n_pis
+
+    def test_disassemble_readable(self):
+        prog = compile_program(build("a = 1; if (a) { print(a); }"))
+        text = prog.disassemble()
+        assert "a = 1" in text
+        assert "goto" in text or "if !(" in text

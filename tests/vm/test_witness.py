@@ -1,0 +1,79 @@
+"""Schedule witness extraction and replay."""
+
+import pytest
+
+from repro.errors import VMError
+from repro.vm import VirtualMachine, explore, find_witness
+from tests.conftest import build
+
+
+RACY = """
+x = 0;
+cobegin
+begin t1 = x; x = t1 + 1; end
+begin t2 = x; x = t2 + 1; end
+coend
+print(x);
+"""
+
+
+class TestFindWitness:
+    def test_witness_for_each_outcome(self):
+        program = build(RACY)
+        res = explore(program)
+        for outcome in res.outcomes:
+            schedule = find_witness(build(RACY), outcome)
+            assert schedule is not None, outcome
+
+    def test_witness_replays_to_outcome(self):
+        program = build(RACY)
+        lost_update = (("print", (1,)),)
+        schedule = find_witness(build(RACY), lost_update)
+        assert schedule is not None
+        vm = VirtualMachine(build(RACY))
+        ex = vm.replay(schedule)
+        assert ex.output_key() == lost_update
+
+    def test_impossible_outcome_returns_none(self):
+        schedule = find_witness(build(RACY), (("print", (99,)),))
+        assert schedule is None
+
+    def test_deadlock_witness(self):
+        src = """
+        cobegin
+        begin lock(A); lock(B); unlock(B); unlock(A); end
+        begin lock(B); lock(A); unlock(A); unlock(B); end
+        coend
+        """
+        schedule = find_witness(build(src), (("deadlock",),))
+        assert schedule is not None
+        vm = VirtualMachine(build(src))
+        ex = vm.replay(schedule)
+        assert ex.deadlocked
+
+    def test_sequential_witness_is_full_run(self):
+        src = "a = 1; print(a);"
+        schedule = find_witness(build(src), (("print", (1,)),))
+        assert schedule is not None
+        assert all(tid == () for tid in schedule)
+
+
+class TestReplay:
+    def test_replay_deterministic(self):
+        program = build(RACY)
+        res = explore(program)
+        outcome = sorted(res.outcomes)[0]
+        schedule = find_witness(build(RACY), outcome)
+        for _ in range(3):
+            ex = VirtualMachine(build(RACY)).replay(schedule)
+            assert ex.output_key() == outcome
+
+    def test_replay_rejects_bad_thread(self):
+        vm = VirtualMachine(build("print(1);"))
+        with pytest.raises(VMError):
+            vm.replay([(9, 9)])
+
+    def test_replay_rejects_blocked_thread(self):
+        vm = VirtualMachine(build("wait(never); print(1);"))
+        with pytest.raises(VMError):
+            vm.replay([()])
