@@ -12,6 +12,9 @@ These helpers wire the whole stack together for the common journeys:
 
 from __future__ import annotations
 
+import contextlib
+from typing import ContextManager, Optional
+
 from repro.cfg.dot import to_dot
 from repro.cssame.builder import CSSAMEForm, build_cssame
 from repro.ir.lower import lower_program
@@ -21,6 +24,7 @@ from repro.lang.parser import parse
 from repro.mutex.deadlock import DeadlockRisk, detect_lock_order_cycles
 from repro.mutex.races import RaceReport, detect_races
 from repro.mutex.warnings import SyncWarning, check_synchronization
+from repro.obs.trace import Tracer, get_tracer, use_tracer
 from repro.opt.pipeline import OptimizationReport, optimize
 
 __all__ = [
@@ -32,14 +36,25 @@ __all__ = [
 ]
 
 
+def _tracing(trace: Optional[Tracer]) -> ContextManager:
+    """Install ``trace`` for the duration of a call; ``None`` keeps the
+    process-global tracer (the zero-overhead no-op by default)."""
+    if trace is None:
+        return contextlib.nullcontext()
+    return use_tracer(trace)
+
+
 def front_end(source: str) -> ProgramIR:
     """Parse and lower ``source`` to structured IR."""
     return lower_program(parse(source))
 
 
-def analyze_source(source: str, prune: bool = True) -> CSSAMEForm:
+def analyze_source(
+    source: str, prune: bool = True, trace: Optional[Tracer] = None
+) -> CSSAMEForm:
     """Build the CSSAME form (``prune=False`` → plain CSSA) of ``source``."""
-    return build_cssame(front_end(source), prune=prune)
+    with _tracing(trace):
+        return build_cssame(front_end(source), prune=prune)
 
 
 def optimize_source(
@@ -47,27 +62,36 @@ def optimize_source(
     passes: tuple[str, ...] = ("constprop", "pdce", "licm"),
     use_mutex: bool = True,
     fold_output_uses: bool = True,
+    trace: Optional[Tracer] = None,
 ) -> OptimizationReport:
     """Run the paper's optimization pipeline on ``source``."""
-    program = front_end(source)
-    return optimize(
-        program,
-        passes=passes,
-        use_mutex=use_mutex,
-        fold_output_uses=fold_output_uses,
-    )
+    with _tracing(trace):
+        program = front_end(source)
+        return optimize(
+            program,
+            passes=passes,
+            use_mutex=use_mutex,
+            fold_output_uses=fold_output_uses,
+        )
 
 
-def diagnose_source(source: str) -> tuple[list[SyncWarning], list[RaceReport]]:
+def diagnose_source(
+    source: str, trace: Optional[Tracer] = None
+) -> tuple[list[SyncWarning], list[RaceReport]]:
     """Section 6 diagnostics: sync-structure warnings (including static
     lock-order deadlock risks) + potential data races."""
-    form = analyze_source(source, prune=False)
-    warnings = check_synchronization(form.graph, form.structures)
-    for risk in detect_lock_order_cycles(form.graph, form.structures):
-        blocks = tuple(b for bs in risk.witnesses.values() for b in bs)
-        warnings.append(SyncWarning("deadlock-risk", risk.message(), blocks))
-    races = detect_races(form.graph, form.structures)
-    return warnings, races
+    with _tracing(trace):
+        form = analyze_source(source, prune=False)
+        with get_tracer().span("diagnose") as span:
+            warnings = check_synchronization(form.graph, form.structures)
+            for risk in detect_lock_order_cycles(form.graph, form.structures):
+                blocks = tuple(b for bs in risk.witnesses.values() for b in bs)
+                warnings.append(
+                    SyncWarning("deadlock-risk", risk.message(), blocks)
+                )
+            races = detect_races(form.graph, form.structures)
+            span.set(warnings=len(warnings), races=len(races))
+        return warnings, races
 
 
 def pfg_dot(source: str, title: str = "PFG") -> str:

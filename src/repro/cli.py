@@ -11,9 +11,25 @@ Commands
 ``run``       execute under the interleaving VM (``--seed``).
 ``explore``   enumerate every schedule and print the outcome set.
 ``dot``       print a Graphviz rendering of the PFG.
+``stats``     run the pipeline under a tracer and print the per-pass
+              timing/decision/metrics tables.
 
 All commands read the program from a file argument or, with ``-``,
-from stdin.
+from stdin, and accept ``--trace FILE --trace-format {jsonl,chrome,text}``
+to capture a full trace of the run (``chrome`` traces load in
+``chrome://tracing`` / Perfetto; see ``docs/OBSERVABILITY.md``).
+
+Exit-code contract
+------------------
+
+* ``0`` — success (for ``diagnose``: no findings, or ``--no-strict``).
+* ``1`` — ``diagnose`` found warnings/races under ``--strict`` (the
+  default), or ``witness`` found no matching schedule.
+* ``2`` — the executed/explored program can deadlock.
+* ``3`` — usage or input error (parse error, missing file, ...).
+
+CI pipelines that want diagnostics as advisory output rather than a
+gate should pass ``--no-strict`` to ``diagnose``.
 """
 
 from __future__ import annotations
@@ -25,6 +41,8 @@ from typing import Optional, Sequence
 from repro.api import analyze_source, diagnose_source, front_end, pfg_dot
 from repro.errors import ReproError
 from repro.ir.printer import format_ir
+from repro.obs.export import TRACE_FORMATS, write_trace
+from repro.obs.trace import Tracer, get_tracer, use_tracer
 from repro.opt.pipeline import optimize
 from repro.report import measure_form
 from repro.vm.explore import explore
@@ -87,7 +105,9 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     if not warnings and not races:
         print("no synchronization problems found")
         return 0
-    return 1
+    # --strict (default): findings gate the build; --no-strict reports
+    # them but exits 0 (see the module docstring's exit-code contract).
+    return 1 if args.strict else 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -142,6 +162,59 @@ def _cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(headers))
+    ]
+    print(f"== {title} ==")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run the pipeline under a tracer; print timing + decision tables."""
+    source = _read_source(args.file)
+    tracer = get_tracer()
+    if not tracer.enabled:  # no --trace given: use a local tracer
+        tracer = Tracer()
+    with use_tracer(tracer):
+        report = optimize(front_end(source), use_mutex=not args.cssa)
+
+    rows = [
+        (
+            "  " * max(span.depth - 1, 0) + span.name,
+            f"{span.duration * 1e3:.3f}",
+            " ".join(f"{k}={v}" for k, v in sorted(span.attrs.items())),
+        )
+        for span in tracer.spans()
+    ]
+    _print_table("per-pass timing", ["phase", "wall_ms", "detail"], rows)
+
+    removals = tracer.events_of_kind("pi-arg-removed")
+    if removals:
+        print()
+        _print_table(
+            "A.3 conflict-argument removals",
+            ["pi", "var", "arg", "lock", "reason"],
+            [(e.pi, e.var, e.arg, e.lock, e.reason) for e in removals],
+        )
+
+    print()
+    metrics = measure_form(report.program).as_dict()
+    _print_table(
+        "final form metrics",
+        ["metric", "value"],
+        sorted(metrics.items()),
+    )
+    counters = tracer.metrics.as_dict()["counters"]
+    if counters:
+        print()
+        _print_table("counters", ["counter", "value"], sorted(counters.items()))
+    return 0
+
+
 def _cmd_witness(args: argparse.Namespace) -> int:
     """Find and replay a schedule printing the requested values."""
     from repro.vm.explore import find_witness
@@ -169,14 +242,29 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="CSSAME compiler driver (ICPP'98 reproduction)",
     )
+    # Tracing flags are shared by every command (parsed per-subcommand
+    # so they may appear before or after the file argument).
+    tracing = argparse.ArgumentParser(add_help=False)
+    tracing.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="capture a trace of this run into FILE",
+    )
+    tracing.add_argument(
+        "--trace-format", choices=TRACE_FORMATS, default="jsonl",
+        help="trace file format (default: jsonl)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("analyze", help="print the CSSAME/CSSA form")
+    p = sub.add_parser(
+        "analyze", help="print the CSSAME/CSSA form", parents=[tracing]
+    )
     p.add_argument("file")
     p.add_argument("--cssa", action="store_true", help="skip Algorithm A.3")
     p.set_defaults(func=_cmd_analyze)
 
-    p = sub.add_parser("optimize", help="run the optimization pipeline")
+    p = sub.add_parser(
+        "optimize", help="run the optimization pipeline", parents=[tracing]
+    )
     p.add_argument("file")
     p.add_argument("--cssa", action="store_true", help="use plain CSSA")
     p.add_argument(
@@ -188,11 +276,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_optimize)
 
-    p = sub.add_parser("diagnose", help="Section 6 warnings and races")
+    p = sub.add_parser(
+        "diagnose", help="Section 6 warnings and races", parents=[tracing]
+    )
     p.add_argument("file")
+    p.add_argument(
+        "--strict", action=argparse.BooleanOptionalAction, default=True,
+        help="exit 1 when findings exist (default; --no-strict exits 0)",
+    )
     p.set_defaults(func=_cmd_diagnose)
 
-    p = sub.add_parser("run", help="execute under the interleaving VM")
+    p = sub.add_parser(
+        "run", help="execute under the interleaving VM", parents=[tracing]
+    )
     p.add_argument("file")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--fuel", type=int, default=1_000_000)
@@ -200,19 +296,24 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", action="store_true")
     p.set_defaults(func=_cmd_run)
 
-    p = sub.add_parser("explore", help="enumerate every schedule")
+    p = sub.add_parser(
+        "explore", help="enumerate every schedule", parents=[tracing]
+    )
     p.add_argument("file")
     p.add_argument("--max-states", type=int, default=200_000)
     p.add_argument("--optimize", action="store_true")
     p.set_defaults(func=_cmd_explore)
 
-    p = sub.add_parser("dot", help="Graphviz rendering of the PFG")
+    p = sub.add_parser(
+        "dot", help="Graphviz rendering of the PFG", parents=[tracing]
+    )
     p.add_argument("file")
     p.set_defaults(func=_cmd_dot)
 
     p = sub.add_parser(
         "witness",
         help="find a schedule that prints the given values (or deadlocks)",
+        parents=[tracing],
     )
     p.add_argument("file")
     p.add_argument("values", nargs="*", help="expected single print's values")
@@ -220,20 +321,44 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="find a deadlocking schedule instead")
     p.add_argument("--max-states", type=int, default=200_000)
     p.set_defaults(func=_cmd_witness)
+
+    p = sub.add_parser(
+        "stats",
+        help="per-pass timing and decision tables for the pipeline",
+        parents=[tracing],
+    )
+    p.add_argument("file")
+    p.add_argument("--cssa", action="store_true", help="use plain CSSA")
+    p.set_defaults(func=_cmd_stats)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
+    tracer = Tracer() if getattr(args, "trace", None) else None
     try:
-        return args.func(args)
+        if tracer is not None:
+            with use_tracer(tracer):
+                code = args.func(args)
+        else:
+            code = args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 3
+        code = 3
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 3
+        code = 3
+    # Export whatever was captured, even on a non-zero exit — a failing
+    # run is exactly when the trace is most wanted.  A write failure is
+    # an error (3) unless the command itself already failed harder.
+    if tracer is not None:
+        try:
+            write_trace(tracer, args.trace, args.trace_format)
+        except OSError as exc:
+            print(f"error: cannot write trace: {exc}", file=sys.stderr)
+            code = code or 3
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

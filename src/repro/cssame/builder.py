@@ -21,6 +21,7 @@ from repro.cssame.rewrite import RewriteStats, rewrite_pi_terms
 from repro.ir.structured import ProgramIR
 from repro.mutex.identify import identify_mutex_structures
 from repro.mutex.structures import MutexStructure
+from repro.obs.trace import get_tracer
 
 __all__ = ["CSSAMEForm", "build_cssame"]
 
@@ -66,15 +67,37 @@ def build_cssame(
     controls the inherited Lee-et-al. guaranteed-ordering refinement
     (π arguments whose definition must execute after the use).
     """
-    cssa = build_cssa(program)
-    pdomtree = compute_postdominators(cssa.graph)
-    structures = identify_mutex_structures(cssa.graph, cssa.ssa.domtree, pdomtree)
-    stats: Optional[RewriteStats] = None
-    ordering_stats: Optional[OrderingStats] = None
-    if prune:
-        stats = rewrite_pi_terms(program, cssa.graph, structures)
-        if prune_events:
-            ordering_stats = prune_pi_terms_by_ordering(
-                program, cssa.graph, cssa.ssa.domtree
+    tracer = get_tracer()
+    with tracer.span("build-cssame", prune=prune) as outer:
+        with tracer.span("cssa"):
+            cssa = build_cssa(program)
+        with tracer.span("identify-mutex") as sp:
+            pdomtree = compute_postdominators(cssa.graph)
+            structures = identify_mutex_structures(
+                cssa.graph, cssa.ssa.domtree, pdomtree
             )
-    return CSSAMEForm(cssa, structures, stats, ordering_stats)
+            sp.set(
+                structures=len(structures),
+                bodies=sum(len(s) for s in structures.values()),
+            )
+        stats: Optional[RewriteStats] = None
+        ordering_stats: Optional[OrderingStats] = None
+        if prune:
+            with tracer.span("rewrite-pi") as sp:
+                stats = rewrite_pi_terms(program, cssa.graph, structures)
+                sp.set(
+                    args_removed=stats.args_removed,
+                    pis_deleted=stats.pis_deleted,
+                )
+            if prune_events:
+                with tracer.span("ordering") as sp:
+                    ordering_stats = prune_pi_terms_by_ordering(
+                        program, cssa.graph, cssa.ssa.domtree
+                    )
+                    sp.set(
+                        args_removed=ordering_stats.args_removed,
+                        pis_deleted=ordering_stats.pis_deleted,
+                    )
+        form = CSSAMEForm(cssa, structures, stats, ordering_stats)
+        outer.set(mutex_bodies=len(form.mutex_bodies()))
+    return form

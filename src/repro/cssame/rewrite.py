@@ -21,6 +21,13 @@ from repro.ir.expr import EVar
 from repro.ir.stmts import IRStmt, Pi, SAssign
 from repro.ir.structured import ProgramIR, iter_statements, remove_stmt
 from repro.mutex.structures import MutexBody, MutexStructure
+from repro.obs.events import (
+    REASON_DOES_NOT_REACH_EXIT,
+    REASON_NOT_UPWARD_EXPOSED,
+    PiArgRemoved,
+    PiDeleted,
+)
+from repro.obs.trace import get_tracer
 from repro.ssa.chains import build_use_map
 
 __all__ = ["RewriteStats", "rewrite_pi_terms"]
@@ -65,6 +72,7 @@ def rewrite_pi_terms(
 ) -> RewriteStats:
     """Run Algorithm A.3 in place; returns rewrite statistics."""
     stats = RewriteStats()
+    tracer = get_tracer()
     pis = _collect_pis(program)
     stats.pis_before = len(pis)
     stats.args_before = sum(len(pi.conflicts) for pi in pis)
@@ -89,7 +97,8 @@ def rewrite_pi_terms(
                     if not isinstance(stmt, Pi):
                         continue
                     _rewrite_one(
-                        stmt, body, structure, graph, dataflow, reach_cache, stats
+                        stmt, body, structure, graph, dataflow, reach_cache,
+                        stats, tracer,
                     )
 
     # Delete π terms reduced to their control argument.
@@ -98,13 +107,21 @@ def rewrite_pi_terms(
         usemap = build_use_map(program)
         for pi in reduced:
             control = pi.control
-            for use, _holder in usemap.uses_of(pi):
+            uses = usemap.uses_of(pi)
+            for use, _holder in uses:
                 use.name = control.name
                 use.version = control.version
                 use.def_site = control.def_site
             remove_stmt(pi)
             _remove_from_block(graph, pi)
             stats.pis_deleted += 1
+            if tracer.enabled:
+                tracer.event(
+                    PiDeleted(
+                        pi.var_name, pi.target, control.ssa_name, len(uses)
+                    )
+                )
+                tracer.counter("cssame.pis_deleted").inc()
         graph.reindex_statements()
     return stats
 
@@ -117,6 +134,7 @@ def _rewrite_one(
     dataflow,
     reach_cache: dict[tuple, bool],
     stats: RewriteStats,
+    tracer,
 ) -> None:
     var = pi.var_name
     use_block, use_index = graph.location_of(pi)
@@ -144,6 +162,7 @@ def _rewrite_one(
             )
         if not_exposed:
             stats.args_removed += 1
+            _record_removal(tracer, structure, pi, arg, REASON_NOT_UPWARD_EXPOSED)
             continue
         # Theorem 1's condition depends only on the definition and the
         # body it is judged against (a def under nested locks belongs to
@@ -158,9 +177,23 @@ def _rewrite_one(
             reach_cache[cache_key] = killed
         if killed:
             stats.args_removed += 1
+            _record_removal(tracer, structure, pi, arg, REASON_DOES_NOT_REACH_EXIT)
         else:
             kept.append(arg)
     pi.conflicts = kept
+
+
+def _record_removal(
+    tracer, structure: MutexStructure, pi: Pi, arg: EVar, reason: str
+) -> None:
+    """Log one A.3 conflict-argument removal with its theorem."""
+    if not tracer.enabled:
+        return
+    tracer.event(
+        PiArgRemoved(structure.lock_name, pi.var_name, pi.target, arg.ssa_name, reason)
+    )
+    tracer.counter("cssame.args_removed").inc()
+    tracer.counter(f"cssame.args_removed.{reason}").inc()
 
 
 def _remove_from_block(graph: FlowGraph, stmt: IRStmt) -> None:

@@ -4,6 +4,9 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.obs.events import MutexBodyDiscovered
+from repro.obs.trace import get_tracer
+
 __all__ = ["MutexBody", "MutexStructure"]
 
 
@@ -59,6 +62,17 @@ class MutexStructure:
     def add(self, body: MutexBody) -> None:
         self.bodies.append(body)
         self._block_index = None
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                MutexBodyDiscovered(
+                    body.lock_name,
+                    body.lock_node,
+                    body.unlock_node,
+                    len(body.nodes),
+                )
+            )
+            tracer.counter("mutex.bodies_discovered").inc()
 
     def body_of_block(self, block_id: int) -> MutexBody | None:
         """The body containing ``block_id``, if any.

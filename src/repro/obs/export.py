@@ -1,0 +1,160 @@
+"""Trace exporters: JSON-lines, Chrome ``trace_event``, text summary.
+
+Three consumers, three formats:
+
+* **jsonl** — one JSON object per record (span or event) in emission
+  order, terminated by a ``{"type": "metrics", ...}`` line.  The
+  machine-readable archival format; :func:`load_jsonl` round-trips it.
+* **chrome** — the Chrome ``trace_event`` JSON object format (a dict
+  with a ``traceEvents`` list), loadable in ``chrome://tracing`` and
+  `Perfetto <https://ui.perfetto.dev>`_.  Spans become complete (``X``)
+  events with microsecond timestamps; typed events become instant
+  (``i``) events carrying their payload in ``args``.
+* **text** — a human-readable summary: the span tree with wall times,
+  event counts by kind, and the metrics registry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Union
+
+from repro.obs.trace import NullTracer, Span, Tracer
+
+__all__ = [
+    "export_chrome",
+    "export_jsonl",
+    "load_jsonl",
+    "render_text",
+    "trace_as_dicts",
+    "write_trace",
+]
+
+TRACE_FORMATS = ("jsonl", "chrome", "text")
+
+AnyTracer = Union[Tracer, NullTracer]
+
+
+def trace_as_dicts(tracer: AnyTracer) -> list[dict]:
+    """Every record plus the trailing metrics line, as plain dicts."""
+    records = [r.as_dict() for r in tracer.records]
+    records.append({"type": "metrics", **tracer.metrics.as_dict()})
+    return records
+
+
+# -- JSON lines --------------------------------------------------------------
+
+
+def export_jsonl(tracer: AnyTracer, out: IO[str]) -> int:
+    """Write one JSON object per line; returns the number of lines."""
+    lines = 0
+    for record in trace_as_dicts(tracer):
+        out.write(json.dumps(record, sort_keys=True) + "\n")
+        lines += 1
+    return lines
+
+
+def load_jsonl(path: str) -> list[dict]:
+    """Read back a jsonl trace file as a list of dicts."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+# -- Chrome trace_event ------------------------------------------------------
+
+
+def _us(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def export_chrome(tracer: AnyTracer) -> dict:
+    """The Chrome ``trace_event`` object (JSON-serializable dict)."""
+    trace_events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": "repro (CSSAME stack)"},
+        }
+    ]
+    for record in tracer.records:
+        if isinstance(record, Span):
+            end = record.end if record.end is not None else record.start
+            trace_events.append(
+                {
+                    "name": record.name,
+                    "cat": "span",
+                    "ph": "X",
+                    "ts": _us(record.start),
+                    "dur": _us(end - record.start),
+                    "pid": 1,
+                    "tid": 1,
+                    "args": dict(record.attrs),
+                }
+            )
+        else:
+            trace_events.append(
+                {
+                    "name": record.kind,
+                    "cat": "event",
+                    "ph": "i",
+                    "ts": _us(record.ts),
+                    "pid": 1,
+                    "tid": 1,
+                    "s": "g",
+                    "args": record.payload(),
+                }
+            )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"metrics": tracer.metrics.as_dict()},
+    }
+
+
+# -- human-readable summary --------------------------------------------------
+
+
+def render_text(tracer: AnyTracer) -> str:
+    """Span tree + event census + metrics, for terminals."""
+    lines: list[str] = ["== spans =="]
+    spans = tracer.spans()
+    if not spans:
+        lines.append("  (none)")
+    for span in spans:
+        indent = "  " * (span.depth + 1)
+        attrs = " ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+        lines.append(
+            f"{indent}{span.name}  {span.duration * 1e3:.3f} ms"
+            + (f"  [{attrs}]" if attrs else "")
+        )
+    counts: dict[str, int] = {}
+    for event in tracer.events():
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    lines.append("== events ==")
+    if not counts:
+        lines.append("  (none)")
+    for kind, count in sorted(counts.items()):
+        lines.append(f"  {kind} x{count}")
+    metrics_text = tracer.metrics.render_text()
+    lines.append("== metrics ==")
+    lines.append(metrics_text if metrics_text else "  (none)")
+    return "\n".join(lines) + "\n"
+
+
+# -- dispatch ----------------------------------------------------------------
+
+
+def write_trace(tracer: AnyTracer, path: str, fmt: str = "jsonl") -> None:
+    """Write the trace to ``path`` in one of :data:`TRACE_FORMATS`."""
+    if fmt not in TRACE_FORMATS:
+        raise ValueError(f"unknown trace format {fmt!r} (want one of {TRACE_FORMATS})")
+    with open(path, "w", encoding="utf-8") as handle:
+        if fmt == "jsonl":
+            export_jsonl(tracer, handle)
+        elif fmt == "chrome":
+            json.dump(export_chrome(tracer), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        else:
+            handle.write(render_text(tracer))

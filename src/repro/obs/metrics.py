@@ -1,0 +1,157 @@
+"""Counters and histograms for the observability layer.
+
+A :class:`MetricsRegistry` is owned by a :class:`~repro.obs.trace.Tracer`;
+instrumented code asks the tracer for a counter or histogram by name and
+updates it.  The registry attached to the no-op tracer hands out shared
+null instruments whose update methods do nothing, so disabled metrics
+cost one method call and no allocation.
+
+Histograms keep raw observations (runs are small — thousands of points,
+not millions); the exported summary is count/min/max/mean/total.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+]
+
+
+class Counter:
+    """A monotonically increasing named value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A named distribution of numeric observations."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    def summary(self) -> dict[str, float]:
+        if not self.values:
+            return {"count": 0, "min": 0.0, "max": 0.0, "mean": 0.0, "total": 0.0}
+        total = sum(self.values)
+        return {
+            "count": len(self.values),
+            "min": min(self.values),
+            "max": max(self.values),
+            "mean": total / len(self.values),
+            "total": total,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Histogram({self.name}, n={len(self.values)})"
+
+
+class MetricsRegistry:
+    """Name → instrument store; instruments are created on first use."""
+
+    __slots__ = ("counters", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = Counter(name)
+            self.counters[name] = instrument
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = Histogram(name)
+            self.histograms[name] = instrument
+        return instrument
+
+    def as_dict(self) -> dict:
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self.histograms.items())
+            },
+        }
+
+    def render_text(self) -> str:
+        lines: list[str] = []
+        for name, counter in sorted(self.counters.items()):
+            lines.append(f"  {name} = {counter.value}")
+        for name, hist in sorted(self.histograms.items()):
+            s = hist.summary()
+            lines.append(
+                f"  {name}: n={s['count']} min={s['min']:g} "
+                f"max={s['max']:g} mean={s['mean']:g} total={s['total']:g}"
+            )
+        return "\n".join(lines)
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = "null"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        return None
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def summary(self) -> dict[str, float]:
+        return {"count": 0, "min": 0.0, "max": 0.0, "mean": 0.0, "total": 0.0}
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """Registry of the no-op tracer: every instrument is a shared null."""
+
+    __slots__ = ()
+    counters: dict = {}
+    histograms: dict = {}
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def as_dict(self) -> dict:
+        return {"counters": {}, "histograms": {}}
+
+    def render_text(self) -> str:
+        return ""
+
+
+NULL_REGISTRY = NullRegistry()

@@ -19,6 +19,8 @@ from typing import Optional
 from repro.cssame.builder import CSSAMEForm, build_cssame
 from repro.ir.printer import format_ir
 from repro.ir.structured import ProgramIR, count_statements
+from repro.obs.events import PassEnd, PassStart
+from repro.obs.trace import get_tracer
 from repro.opt.concprop import ConstPropStats, concurrent_constant_propagation
 from repro.opt.licm import LICMStats, lock_independent_code_motion
 from repro.opt.lvn import LVNStats, local_value_numbering
@@ -47,6 +49,9 @@ class OptimizationReport:
         self.pdce: Optional[PDCEStats] = None
         self.licm: Optional[LICMStats] = None
         self.listings: dict[str, str] = {}
+        #: True only while no transform has run since build_cssame, i.e.
+        #: while ``form.graph`` still describes ``program`` exactly
+        self.graph_is_fresh = True
         self.simplified_items = 0
 
     def listing(self, phase: str = "final") -> str:
@@ -87,33 +92,59 @@ def optimize(
     if unknown:
         raise ValueError(f"unknown passes: {sorted(unknown)}")
 
-    form = build_cssame(program, prune=use_mutex)
-    report = OptimizationReport(program, form)
-    from repro.ir.structured import clone_program
+    tracer = get_tracer()
+    with tracer.span(
+        "optimize", passes=",".join(passes), use_mutex=use_mutex
+    ) as pipeline_span:
+        form = build_cssame(program, prune=use_mutex)
+        report = OptimizationReport(program, form)
+        from repro.ir.structured import clone_program
 
-    report.baseline = clone_program(program)
-    report.listings["cssa" if not use_mutex else "cssame"] = format_ir(program)
+        report.baseline = clone_program(program)
+        report.listings["cssa" if not use_mutex else "cssame"] = format_ir(program)
 
-    for name in passes:
-        if name == "constprop":
-            # The freshly built graph is still valid here (no transform
-            # has run yet), giving exact edge-executability reasoning.
-            graph = form.graph if not report.listings.keys() - {"cssa", "cssame"} else None
-            report.constprop = concurrent_constant_propagation(
-                program, graph, fold_output_uses=fold_output_uses
-            )
-            report.listings["constprop"] = format_ir(program)
-        elif name == "lvn":
-            report.lvn = local_value_numbering(program)
-            report.listings["lvn"] = format_ir(program)
-        elif name == "pdce":
-            report.pdce = parallel_dead_code_elimination(program)
-            report.listings["pdce"] = format_ir(program)
-        elif name == "licm":
-            report.licm = lock_independent_code_motion(program)
-            report.listings["licm"] = format_ir(program)
+        for name in passes:
+            if tracer.enabled:
+                tracer.event(PassStart(name))
+            with tracer.span(f"pass:{name}") as span:
+                if name == "constprop":
+                    # The freshly built graph gives exact edge-executability
+                    # reasoning; after any transform it is stale and the
+                    # pass must fall back to chain-only propagation.
+                    graph = form.graph if report.graph_is_fresh else None
+                    report.constprop = concurrent_constant_propagation(
+                        program, graph, fold_output_uses=fold_output_uses
+                    )
+                    stats = {
+                        "constants": len(report.constprop.constants),
+                        "uses_replaced": report.constprop.uses_replaced,
+                        "branches_folded": report.constprop.branches_folded,
+                    }
+                elif name == "lvn":
+                    report.lvn = local_value_numbering(program)
+                    stats = {"replaced": report.lvn.expressions_replaced}
+                elif name == "pdce":
+                    report.pdce = parallel_dead_code_elimination(program)
+                    stats = {
+                        "removed": report.pdce.total_removed,
+                        "regions_removed": report.pdce.regions_removed,
+                    }
+                else:  # licm
+                    report.licm = lock_independent_code_motion(program)
+                    stats = {
+                        "moved": report.licm.total_moved,
+                        "locks_removed": report.licm.locks_removed,
+                    }
+                report.graph_is_fresh = False
+                report.listings[name] = format_ir(program)
+                span.set(**stats)
+            if tracer.enabled:
+                tracer.event(PassEnd(name, stats))
 
-    if simplify:
-        report.simplified_items = simplify_structure(program)
-    report.listings["final"] = format_ir(program)
+        if simplify:
+            with tracer.span("simplify") as span:
+                report.simplified_items = simplify_structure(program)
+                span.set(items=report.simplified_items)
+        report.listings["final"] = format_ir(program)
+        pipeline_span.set(statements=report.statement_count())
     return report

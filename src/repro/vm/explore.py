@@ -25,6 +25,7 @@ from typing import Callable, Optional, Union
 
 from repro.errors import VMError
 from repro.ir.structured import ProgramIR
+from repro.obs.trace import get_tracer
 from repro.opt.folding import eval_expr_concrete
 from repro.vm.bytecode import Op, VMProgram
 from repro.vm.compile import compile_program
@@ -299,8 +300,16 @@ def find_witness(
 
     old_limit = sys.getrecursionlimit()
     sys.setrecursionlimit(max(old_limit, 100_000))
+    tracer = get_tracer()
     try:
-        return dfs(explorer.initial_state(), tuple(outcome), [])
+        with tracer.span("find-witness", max_states=max_states) as span:
+            schedule = dfs(explorer.initial_state(), tuple(outcome), [])
+            span.set(
+                found=schedule is not None,
+                states_considered=len(seen),
+                schedule_length=0 if schedule is None else len(schedule),
+            )
+        return schedule
     finally:
         sys.setrecursionlimit(old_limit)
 
@@ -321,10 +330,20 @@ def explore(
     explorer = _Explorer(program, functions or default_functions, max_states)
     old_limit = sys.getrecursionlimit()
     sys.setrecursionlimit(max(old_limit, 100_000))
+    tracer = get_tracer()
     try:
-        outcomes = explorer.outcomes(explorer.initial_state())
+        with tracer.span("explore", max_states=max_states) as span:
+            outcomes = explorer.outcomes(explorer.initial_state())
+            span.set(
+                states=len(explorer.memo),
+                outcomes=len(outcomes),
+                complete=not explorer.truncated,
+            )
     finally:
         sys.setrecursionlimit(old_limit)
+    if tracer.enabled:
+        tracer.counter("explore.states").inc(len(explorer.memo))
+        tracer.counter("explore.outcomes").inc(len(outcomes))
     return ExplorationResult(
         outcomes, states=len(explorer.memo), complete=not explorer.truncated
     )

@@ -26,6 +26,14 @@ from typing import Callable, Optional, Union
 
 from repro.errors import DeadlockError, StepLimitExceeded, VMError
 from repro.ir.structured import ProgramIR
+from repro.obs.events import (
+    ContextSwitch,
+    LockAcquire,
+    LockContention,
+    LockRelease,
+    VMStep,
+)
+from repro.obs.trace import get_tracer
 from repro.opt.folding import eval_expr_concrete
 from repro.vm.bytecode import Instr, Op, VMProgram
 from repro.vm.compile import compile_program
@@ -110,6 +118,11 @@ class VirtualMachine:
         main = _Thread((), self.program.entry)
         self.threads[()] = main
         self.execution = Execution()
+        #: the tracer in effect at construction time; with the default
+        #: no-op tracer every hook below is one attribute read + branch
+        self.tracer = get_tracer()
+        self._last_tid: Optional[tuple] = None
+        self._acquired_at: dict[str, int] = {}  # lock → step of acquisition
 
     # -- expression evaluation ----------------------------------------------
 
@@ -161,6 +174,7 @@ class VirtualMachine:
 
     def _account_lock_time(self, alive: list[_Thread]) -> None:
         ex = self.execution
+        tracer = self.tracer
         for lock_name in self.locks:
             ex.lock_held_steps[lock_name] = ex.lock_held_steps.get(lock_name, 0) + 1
         for t in alive:
@@ -171,12 +185,28 @@ class VirtualMachine:
                 ex.lock_blocked_steps[instr.name] = (
                     ex.lock_blocked_steps.get(instr.name, 0) + 1
                 )
+                if tracer.enabled:
+                    tracer.event(
+                        LockContention(
+                            ex.steps, instr.name, t.tid, self.locks[instr.name]
+                        )
+                    )
+                    tracer.counter(f"vm.lock_blocked_steps.{instr.name}").inc()
 
     # -- execution ---------------------------------------------------------------
 
     def _step(self, thread: _Thread) -> None:
         instr = self.program.instrs[thread.pc]
         op = instr.op
+        tracer = self.tracer
+        if tracer.enabled:
+            steps = self.execution.steps
+            if self._last_tid is not None and self._last_tid != thread.tid:
+                tracer.event(ContextSwitch(steps, self._last_tid, thread.tid))
+                tracer.counter("vm.context_switches").inc()
+            self._last_tid = thread.tid
+            tracer.event(VMStep(steps, thread.tid, op.name))
+            tracer.counter("vm.steps").inc()
         if op is Op.ASSIGN:
             self.memory[instr.name] = self._eval(instr.expr)
             thread.pc += 1
@@ -196,6 +226,10 @@ class VirtualMachine:
             ex.lock_acquisitions[instr.name] = (
                 ex.lock_acquisitions.get(instr.name, 0) + 1
             )
+            if tracer.enabled:
+                self._acquired_at[instr.name] = ex.steps
+                tracer.event(LockAcquire(ex.steps, instr.name, thread.tid))
+                tracer.counter(f"vm.lock_acquisitions.{instr.name}").inc()
             thread.pc += 1
         elif op is Op.UNLOCK:
             owner = self.locks.get(instr.name)
@@ -204,6 +238,12 @@ class VirtualMachine:
                     f"unlock({instr.name}) by {thread.tid} but owner is {owner}"
                 )
             del self.locks[instr.name]
+            if tracer.enabled:
+                held = self.execution.steps - self._acquired_at.pop(instr.name, 0)
+                tracer.event(
+                    LockRelease(self.execution.steps, instr.name, thread.tid, held)
+                )
+                tracer.histogram(f"vm.lock_hold_steps.{instr.name}").observe(held)
             thread.pc += 1
         elif op is Op.SET:
             self.events_set.add(instr.name)
