@@ -19,11 +19,22 @@ The package implements the paper's whole stack:
 
 Quickstart::
 
+    from repro.session import Session
+
+    session = Session()
+    result = session.optimize(source_text)
+    print(result.listing())
+
+The one-shot helpers remain supported as a facade over the session
+machinery::
+
     from repro import api
     result = api.optimize_source(source_text)
     print(result.listing())
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["api", "__version__"]
+__all__ = ["api", "session", "__version__"]
+
+from repro import api, session  # noqa: E402  (re-exported surfaces)

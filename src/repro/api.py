@@ -1,60 +1,79 @@
-"""High-level one-call API.
+"""High-level one-call API — a thin facade over :mod:`repro.session`.
 
-These helpers wire the whole stack together for the common journeys:
+These helpers keep the original one-shot signatures for the common
+journeys:
 
 * :func:`front_end` — source text → structured IR;
 * :func:`analyze_source` — source → CSSAME (or plain CSSA) form;
 * :func:`optimize_source` — source → optimized program + report;
 * :func:`diagnose_source` — source → Section 6 warnings and race
   reports;
-* :func:`pfg_dot` — source → DOT rendering of the PFG.
+* :func:`pfg_dot` — source → DOT rendering of the PFG;
+* :func:`listing` — program → source-like listing.
+
+Since the :mod:`repro.session` redesign each call delegates to a
+:class:`~repro.session.session.Session` walking the pipeline stage
+graph.  By default every call gets an **ephemeral** session: results
+are bit-identical to the historical implementations, repeated calls
+recompute from scratch, and a traced call observes one full pipeline
+execution (the legacy observability contract).  Pass a long-lived
+session via the ``session=`` keyword — or use :class:`Session`
+directly, the canonical surface per ``docs/API.md`` — to reuse cached
+artifacts across calls::
+
+    from repro.session import Session
+    from repro import api
+
+    session = Session()
+    api.analyze_source(src, session=session)
+    api.diagnose_source(src, session=session)   # front end cached
+    api.pfg_dot(src, session=session)           # pure cache walk
+
+These free functions are the supported compatibility surface — they are
+the facade, so they emit no deprecation warnings.
 """
 
 from __future__ import annotations
 
-import contextlib
-from typing import ContextManager, Optional
+from typing import Optional
 
-from repro.cfg.dot import to_dot
-from repro.cssame.builder import CSSAMEForm, build_cssame
-from repro.ir.lower import lower_program
+from repro.cssame.builder import CSSAMEForm
 from repro.ir.printer import format_ir
 from repro.ir.structured import ProgramIR
-from repro.lang.parser import parse
-from repro.mutex.deadlock import DeadlockRisk, detect_lock_order_cycles
-from repro.mutex.races import RaceReport, detect_races
-from repro.mutex.warnings import SyncWarning, check_synchronization
-from repro.obs.trace import Tracer, get_tracer, use_tracer
-from repro.opt.pipeline import OptimizationReport, optimize
+from repro.mutex.races import RaceReport
+from repro.mutex.warnings import SyncWarning
+from repro.obs.trace import Tracer
+from repro.opt.pipeline import OptimizationReport
+from repro.session.session import Session
 
 __all__ = [
     "analyze_source",
     "diagnose_source",
     "front_end",
+    "listing",
     "optimize_source",
     "pfg_dot",
 ]
 
 
-def _tracing(trace: Optional[Tracer]) -> ContextManager:
-    """Install ``trace`` for the duration of a call; ``None`` keeps the
-    process-global tracer (the zero-overhead no-op by default)."""
-    if trace is None:
-        return contextlib.nullcontext()
-    return use_tracer(trace)
+def _session(session: Optional[Session]) -> Session:
+    """The session backing one facade call (ephemeral when omitted)."""
+    return session if session is not None else Session()
 
 
-def front_end(source: str) -> ProgramIR:
-    """Parse and lower ``source`` to structured IR."""
-    return lower_program(parse(source))
+def front_end(source: str, session: Optional[Session] = None) -> ProgramIR:
+    """Parse and lower ``source`` to structured IR (a private copy)."""
+    return _session(session).front_end(source)
 
 
 def analyze_source(
-    source: str, prune: bool = True, trace: Optional[Tracer] = None
+    source: str,
+    prune: bool = True,
+    trace: Optional[Tracer] = None,
+    session: Optional[Session] = None,
 ) -> CSSAMEForm:
     """Build the CSSAME form (``prune=False`` → plain CSSA) of ``source``."""
-    with _tracing(trace):
-        return build_cssame(front_end(source), prune=prune)
+    return _session(session).analyze(source, prune=prune, trace=trace)
 
 
 def optimize_source(
@@ -63,41 +82,41 @@ def optimize_source(
     use_mutex: bool = True,
     fold_output_uses: bool = True,
     trace: Optional[Tracer] = None,
+    session: Optional[Session] = None,
 ) -> OptimizationReport:
     """Run the paper's optimization pipeline on ``source``."""
-    with _tracing(trace):
-        program = front_end(source)
-        return optimize(
-            program,
-            passes=passes,
-            use_mutex=use_mutex,
-            fold_output_uses=fold_output_uses,
-        )
+    return _session(session).optimize(
+        source,
+        passes=passes,
+        use_mutex=use_mutex,
+        fold_output_uses=fold_output_uses,
+        trace=trace,
+    )
 
 
 def diagnose_source(
-    source: str, trace: Optional[Tracer] = None
+    source: str,
+    trace: Optional[Tracer] = None,
+    session: Optional[Session] = None,
 ) -> tuple[list[SyncWarning], list[RaceReport]]:
     """Section 6 diagnostics: sync-structure warnings (including static
     lock-order deadlock risks) + potential data races."""
-    with _tracing(trace):
-        form = analyze_source(source, prune=False)
-        with get_tracer().span("diagnose") as span:
-            warnings = check_synchronization(form.graph, form.structures)
-            for risk in detect_lock_order_cycles(form.graph, form.structures):
-                blocks = tuple(b for bs in risk.witnesses.values() for b in bs)
-                warnings.append(
-                    SyncWarning("deadlock-risk", risk.message(), blocks)
-                )
-            races = detect_races(form.graph, form.structures)
-            span.set(warnings=len(warnings), races=len(races))
-        return warnings, races
+    return _session(session).diagnose(source, trace=trace)
 
 
-def pfg_dot(source: str, title: str = "PFG") -> str:
-    """DOT rendering of the PFG (CSSAME form) of ``source``."""
-    form = analyze_source(source)
-    return to_dot(form.graph, title=title)
+def pfg_dot(
+    source: str,
+    title: str = "PFG",
+    prune: bool = True,
+    trace: Optional[Tracer] = None,
+    session: Optional[Session] = None,
+) -> str:
+    """DOT rendering of the PFG of ``source``.
+
+    ``prune=False`` renders the plain-CSSA graph; ``trace=`` captures
+    the run like every other helper here.
+    """
+    return _session(session).dot(source, title=title, prune=prune, trace=trace)
 
 
 def listing(program: ProgramIR) -> str:

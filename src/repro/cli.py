@@ -5,6 +5,10 @@ Commands
 
 ``analyze``   build the CSSAME (or, with ``--cssa``, plain CSSA) form
               and print the annotated listing plus form statistics.
+``batch``     analyze + diagnose every ``.par`` file under a directory
+              concurrently (``--jobs N``, ``--executor thread|process``)
+              through one shared artifact-cached session; one structured
+              result line per file, bad files isolated as errors.
 ``optimize``  run the Section 5 pipeline and print the optimized
               program (``--phases`` shows every intermediate listing).
 ``diagnose``  print Section 6 warnings and potential data races.
@@ -45,6 +49,7 @@ from repro.obs.export import TRACE_FORMATS, write_trace
 from repro.obs.trace import Tracer, get_tracer, use_tracer
 from repro.opt.pipeline import optimize
 from repro.report import measure_form
+from repro.session.batch import BatchSession
 from repro.vm.explore import explore
 from repro.vm.machine import run_random
 
@@ -157,8 +162,41 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    batch = BatchSession(
+        jobs=args.jobs,
+        executor=args.executor,
+        optimize=args.optimize,
+        prune=not args.cssa,
+    )
+    results = batch.run_dir(args.directory)
+    if not results:
+        print(f"error: no .par files under {args.directory}", file=sys.stderr)
+        return 3
+    for result in results:
+        print(result.summary())
+    errors = sum(1 for r in results if not r.ok)
+    print(f"// {len(results)} file(s), {errors} error(s)")
+    if args.cache_stats:
+        stats = batch.session.cache_stats()
+        rows: list[tuple] = [
+            (stage, entry["hits"], entry["misses"])
+            for stage, entry in sorted(stats.by_stage.items())
+        ]
+        rows.append(("total", stats.hits, stats.misses))
+        print()
+        _print_table("artifact cache", ["stage", "hits", "misses"], rows)
+        if batch.executor == "process":
+            print("// note: process workers keep per-process caches; "
+                  "this table covers the coordinator only")
+    return 1 if errors and args.strict else 0
+
+
 def _cmd_dot(args: argparse.Namespace) -> int:
-    print(pfg_dot(_read_source(args.file), title=args.file), end="")
+    print(
+        pfg_dot(_read_source(args.file), title=args.file, prune=not args.cssa),
+        end="",
+    )
     return 0
 
 
@@ -305,9 +343,40 @@ def _build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_explore)
 
     p = sub.add_parser(
+        "batch",
+        help="analyze+diagnose every .par file under a directory",
+        parents=[tracing],
+    )
+    p.add_argument("directory")
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker count (default: 1 = serial)",
+    )
+    p.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="pool kind for --jobs > 1 (default: thread, shares the "
+             "artifact cache; process buys real CPU parallelism)",
+    )
+    p.add_argument(
+        "--optimize", action="store_true",
+        help="also run the optimization pipeline per file",
+    )
+    p.add_argument("--cssa", action="store_true", help="plain CSSA forms")
+    p.add_argument(
+        "--cache-stats", action="store_true",
+        help="print the artifact cache's per-stage hit/miss table",
+    )
+    p.add_argument(
+        "--strict", action=argparse.BooleanOptionalAction, default=False,
+        help="exit 1 when any file errored (default: report and exit 0)",
+    )
+    p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
         "dot", help="Graphviz rendering of the PFG", parents=[tracing]
     )
     p.add_argument("file")
+    p.add_argument("--cssa", action="store_true", help="plain CSSA PFG")
     p.set_defaults(func=_cmd_dot)
 
     p = sub.add_parser(

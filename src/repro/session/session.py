@@ -1,0 +1,238 @@
+"""The :class:`Session` — the canonical entry point of the package.
+
+A session owns one :class:`~repro.session.artifacts.ArtifactCache` and
+answers pipeline requests (*analyze*, *diagnose*, *optimize*, *dot*,
+*bytecode*) by walking the stage graph of :mod:`repro.session.stages`,
+reusing every artifact the cache already holds.  Sweeping one program
+through analyze + diagnose + dot therefore parses and lowers it once,
+builds each SSA variant once, and pays only the last stage of each
+journey on repeats::
+
+    from repro.session import Session
+
+    session = Session()
+    form = session.analyze(source)            # parse + lower + CSSAME
+    warnings, races = session.diagnose(source)  # reuses ast/ir; adds CSSA
+    dot = session.dot(source)                   # pure cache walk + render
+    print(session.cache_stats().hit_rate)
+
+Sharing rules (what a caller may do with a returned artifact):
+
+* :meth:`front_end` returns a **private deep copy** of the cached IR —
+  mutate it freely (the VM, the optimizer and destructive passes do).
+* :meth:`analyze` and :meth:`optimize` return the **cached object**;
+  treat it as read-only.  The session guarantees its own stages never
+  corrupt each other (copy-on-write inside the stage graph), but a
+  caller who mutates a shared form sees their edits on the next hit.
+* :meth:`diagnose` returns fresh lists (of shared, immutable findings).
+
+Tracing: every stage lookup runs under a ``stage:<name>`` span carrying
+a ``cache_hit`` attribute, and bumps the ``session.cache.hit`` /
+``session.cache.miss`` counters of the active tracer.  A session built
+with ``fresh_when_traced=True`` (what the :mod:`repro.api` facade uses)
+recomputes stages whenever tracing is enabled, so a traced run always
+observes the real pipeline rather than a cache lookup.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Mapping, Optional
+
+from repro.cssame.builder import CSSAMEForm
+from repro.ir.printer import format_ir
+from repro.ir.structured import ProgramIR, clone_program
+from repro.mutex.races import RaceReport
+from repro.mutex.warnings import SyncWarning
+from repro.obs.trace import Tracer, get_tracer, use_tracer
+from repro.opt.pipeline import OptimizationReport
+from repro.session.artifacts import ArtifactCache, CacheStats, derive_key, source_key
+from repro.session.stages import STAGES
+from repro.vm.bytecode import VMProgram
+
+__all__ = ["Session"]
+
+_DEFAULT_PASSES = ("constprop", "pdce", "licm")
+
+
+def _tracing(trace: Optional[Tracer]):
+    if trace is None:
+        return contextlib.nullcontext()
+    return use_tracer(trace)
+
+
+class Session:
+    """A caching pipeline driver over the stage graph.
+
+    Parameters
+    ----------
+    max_entries:
+        Artifact-cache bound (LRU eviction); ``None`` = unbounded.
+    fresh_when_traced:
+        When ``True``, any request made while tracing is enabled
+        recomputes every stage it touches (and refreshes the cache with
+        the results).  This preserves the one-shot observability
+        contract of the legacy ``repro.api`` helpers: a traced run's
+        spans and events always describe a full pipeline execution.
+    """
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        fresh_when_traced: bool = False,
+    ) -> None:
+        self.cache = ArtifactCache(max_entries=max_entries)
+        self.fresh_when_traced = fresh_when_traced
+
+    # -- the generic stage walk ---------------------------------------------
+
+    def _options_for(self, stage: str, request: Mapping[str, Any]) -> dict:
+        spec = STAGES[stage]
+        return {name: request[name] for name in spec.option_names}
+
+    def _key_for(self, stage: str, source: str, request: Mapping[str, Any]) -> str:
+        """Artifact key of ``stage`` by walking the parent chain."""
+        spec = STAGES[stage]
+        if spec.parent is None:
+            parent_key = source_key(source)
+        else:
+            parent_request = dict(request)
+            if spec.parent_options:
+                parent_request.update(spec.parent_options)
+            parent_key = self._key_for(spec.parent, source, parent_request)
+        return derive_key(stage, parent_key, self._options_for(stage, request))
+
+    def _artifact(self, stage: str, source: str, request: Mapping[str, Any]) -> Any:
+        """The ``stage`` artifact for ``source``, computing on miss.
+
+        ``request`` maps option names (for the whole chain) to values;
+        each stage picks out the names it declares.
+        """
+        spec = STAGES[stage]
+        key = self._key_for(stage, source, request)
+        tracer = get_tracer()
+        bypass = self.fresh_when_traced and tracer.enabled
+        value = self.cache.MISSING if bypass else self.cache.get(key, stage)
+        hit = value is not self.cache.MISSING
+        if tracer.enabled:
+            tracer.counter(
+                "session.cache.hit" if hit else "session.cache.miss"
+            ).inc()
+        if hit:
+            with tracer.span(f"stage:{stage}", cache_hit=True):
+                pass
+            return value
+        if spec.parent is None:
+            parent_value = source
+        else:
+            parent_request = dict(request)
+            if spec.parent_options:
+                parent_request.update(spec.parent_options)
+            parent_value = self._artifact(spec.parent, source, parent_request)
+        with tracer.span(f"stage:{stage}", cache_hit=False):
+            value = spec.compute(parent_value, self._options_for(stage, request))
+        self.cache.put(key, value)
+        return value
+
+    # -- journeys ------------------------------------------------------------
+
+    def front_end(
+        self, source: str, trace: Optional[Tracer] = None
+    ) -> ProgramIR:
+        """Parse and lower ``source``; returns a private, mutable copy."""
+        with _tracing(trace):
+            return clone_program(self._artifact("ir", source, {}))
+
+    def analyze(
+        self,
+        source: str,
+        prune: bool = True,
+        prune_events: bool = True,
+        trace: Optional[Tracer] = None,
+    ) -> CSSAMEForm:
+        """CSSAME form of ``source`` (``prune=False`` → plain CSSA).
+
+        The returned form is the cached artifact — treat it as
+        read-only.
+        """
+        with _tracing(trace):
+            return self._artifact(
+                "cssame",
+                source,
+                {"prune": prune, "prune_events": prune_events},
+            )
+
+    def diagnose(
+        self, source: str, trace: Optional[Tracer] = None
+    ) -> tuple[list[SyncWarning], list[RaceReport]]:
+        """Section 6 diagnostics (sync warnings + potential races)."""
+        with _tracing(trace):
+            warnings, races = self._artifact("diagnostics", source, {})
+            return list(warnings), list(races)
+
+    def optimize(
+        self,
+        source: str,
+        passes: tuple[str, ...] = _DEFAULT_PASSES,
+        use_mutex: bool = True,
+        fold_output_uses: bool = True,
+        simplify: bool = True,
+        trace: Optional[Tracer] = None,
+    ) -> OptimizationReport:
+        """The paper's optimization pipeline; cached per option tuple."""
+        with _tracing(trace):
+            return self._artifact(
+                "optimized",
+                source,
+                {
+                    "passes": tuple(passes),
+                    "use_mutex": use_mutex,
+                    "fold_output_uses": fold_output_uses,
+                    "simplify": simplify,
+                },
+            )
+
+    def dot(
+        self,
+        source: str,
+        title: str = "PFG",
+        prune: bool = True,
+        trace: Optional[Tracer] = None,
+    ) -> str:
+        """DOT rendering of the PFG (CSSAME, or CSSA with ``prune=False``)."""
+        with _tracing(trace):
+            return self._artifact(
+                "dot",
+                source,
+                {
+                    "title": title,
+                    "prune": prune,
+                    "prune_events": True,
+                },
+            )
+
+    def bytecode(self, source: str, trace: Optional[Tracer] = None) -> VMProgram:
+        """VM bytecode of the (unoptimized) program."""
+        with _tracing(trace):
+            return self._artifact("bytecode", source, {})
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def listing(self, program: ProgramIR) -> str:
+        """Source-like listing of a program in any form."""
+        return format_ir(program)
+
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction accounting for this session's cache."""
+        return self.cache.stats
+
+    def clear_cache(self) -> None:
+        """Drop every cached artifact (accounting is preserved)."""
+        self.cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        stats = self.cache.stats
+        return (
+            f"Session(artifacts={len(self.cache)}, hits={stats.hits}, "
+            f"misses={stats.misses})"
+        )

@@ -1,0 +1,167 @@
+"""Golden equivalence: the Session-backed facade matches the
+pre-redesign one-shot implementations.
+
+The reference ("legacy") implementations below are verbatim transcripts
+of what ``repro.api`` did before the stage-graph redesign: build
+everything from scratch with direct calls into the pipeline modules.
+Every ``api.*`` helper — called cold *and* through a warmed, shared
+session — must reproduce their outputs bit-for-bit on the whole
+``examples/*.par`` corpus plus the paper's Figure 1–5 fixture programs
+(Figures 3–5 rework the Figure 2 program, so the two sources cover all
+five).
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro import api
+from repro.cfg.dot import to_dot
+from repro.cssame.builder import build_cssame
+from repro.ir.lower import lower_program
+from repro.ir.printer import format_ir
+from repro.lang.parser import parse
+from repro.mutex.deadlock import detect_lock_order_cycles
+from repro.mutex.races import detect_races
+from repro.mutex.warnings import SyncWarning, check_synchronization
+from repro.opt.pipeline import optimize
+from repro.report import measure_form
+from repro.session import Session
+from tests.conftest import FIGURE1_SOURCE, FIGURE2_SOURCE
+
+_EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+CORPUS = {
+    "paper-figure1": FIGURE1_SOURCE,
+    "paper-figure2-5": FIGURE2_SOURCE,
+}
+for _path in sorted(glob.glob(os.path.join(_EXAMPLES, "*.par"))):
+    with open(_path, "r", encoding="utf-8") as _handle:
+        CORPUS[os.path.basename(_path)] = _handle.read()
+
+
+# -- the pre-redesign reference implementations ---------------------------
+
+
+def legacy_front_end(source):
+    return lower_program(parse(source))
+
+
+def legacy_analyze(source, prune=True):
+    return build_cssame(legacy_front_end(source), prune=prune)
+
+
+def legacy_optimize(source, **kwargs):
+    return optimize(legacy_front_end(source), **kwargs)
+
+
+def legacy_diagnose(source):
+    form = legacy_analyze(source, prune=False)
+    warnings = check_synchronization(form.graph, form.structures)
+    for risk in detect_lock_order_cycles(form.graph, form.structures):
+        blocks = tuple(b for bs in risk.witnesses.values() for b in bs)
+        warnings.append(SyncWarning("deadlock-risk", risk.message(), blocks))
+    races = detect_races(form.graph, form.structures)
+    return warnings, races
+
+
+def legacy_pfg_dot(source, title="PFG"):
+    return to_dot(legacy_analyze(source).graph, title=title)
+
+
+# -- equivalence over the corpus ------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def warm_session():
+    """One shared session, used twice per program: cold fill + warm hits."""
+    return Session()
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+class TestGoldenEquivalence:
+    def test_front_end(self, name):
+        assert format_ir(api.front_end(CORPUS[name])) == format_ir(
+            legacy_front_end(CORPUS[name])
+        )
+
+    @pytest.mark.parametrize("prune", [True, False])
+    def test_analyze(self, name, prune, warm_session):
+        expected = legacy_analyze(CORPUS[name], prune=prune)
+        for session in (None, warm_session, warm_session):
+            form = api.analyze_source(CORPUS[name], prune=prune, session=session)
+            assert format_ir(form.program) == format_ir(expected.program)
+            assert measure_form(form.program).as_dict() == measure_form(
+                expected.program
+            ).as_dict()
+            assert sorted(form.structures) == sorted(expected.structures)
+            if prune:
+                assert (
+                    form.rewrite_stats.args_removed
+                    == expected.rewrite_stats.args_removed
+                )
+                assert (
+                    form.rewrite_stats.pis_deleted
+                    == expected.rewrite_stats.pis_deleted
+                )
+
+    def test_diagnose(self, name, warm_session):
+        expected_warnings, expected_races = legacy_diagnose(CORPUS[name])
+        for session in (None, warm_session, warm_session):
+            warnings, races = api.diagnose_source(CORPUS[name], session=session)
+            assert [(w.kind, w.message) for w in warnings] == [
+                (w.kind, w.message) for w in expected_warnings
+            ]
+            assert [r.message() for r in races] == [
+                r.message() for r in expected_races
+            ]
+
+    def test_optimize(self, name, warm_session):
+        expected = legacy_optimize(CORPUS[name])
+        for session in (None, warm_session, warm_session):
+            report = api.optimize_source(CORPUS[name], session=session)
+            assert report.listings == expected.listings
+            assert report.statement_count() == expected.statement_count()
+            assert len(report.constprop.constants) == len(
+                expected.constprop.constants
+            )
+            assert report.pdce.total_removed == expected.pdce.total_removed
+            assert report.licm.total_moved == expected.licm.total_moved
+
+    def test_pfg_dot(self, name, warm_session):
+        expected = legacy_pfg_dot(CORPUS[name], title=name)
+        for session in (None, warm_session, warm_session):
+            assert api.pfg_dot(CORPUS[name], title=name, session=session) == expected
+
+
+class TestFacadeSurface:
+    def test_all_exports_resolve(self):
+        for symbol in api.__all__:
+            assert getattr(api, symbol) is not None
+        assert "listing" in api.__all__
+
+    def test_listing_round_trip(self):
+        program = api.front_end(FIGURE2_SOURCE)
+        assert api.listing(program) == format_ir(program)
+
+    def test_pfg_dot_prune_passthrough(self):
+        pruned = api.pfg_dot(FIGURE2_SOURCE)
+        unpruned = api.pfg_dot(FIGURE2_SOURCE, prune=False)
+        assert pruned != unpruned
+        assert unpruned == to_dot(
+            legacy_analyze(FIGURE2_SOURCE, prune=False).graph, title="PFG"
+        )
+
+    def test_pfg_dot_accepts_trace(self):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        api.pfg_dot(FIGURE2_SOURCE, trace=tracer)
+        assert any(s.name == "build-cssame" for s in tracer.spans())
+
+    def test_optimize_pass_variants_match_legacy(self):
+        for passes in ((), ("constprop",), ("constprop", "lvn", "pdce")):
+            got = api.optimize_source(FIGURE2_SOURCE, passes=passes)
+            want = legacy_optimize(FIGURE2_SOURCE, passes=passes)
+            assert got.listings == want.listings

@@ -1,0 +1,67 @@
+"""The content-addressed artifact store: keys, LRU, accounting."""
+
+from repro.session.artifacts import ArtifactCache, derive_key, source_key
+
+
+class TestKeys:
+    def test_source_key_is_content_addressed(self):
+        assert source_key("a = 1;") == source_key("a = 1;")
+        assert source_key("a = 1;") != source_key("a = 2;")
+
+    def test_derivation_chains_differ_per_stage(self):
+        root = source_key("a = 1;")
+        assert derive_key("ast", root, {}) != derive_key("ir", root, {})
+
+    def test_options_are_part_of_the_key(self):
+        root = source_key("a = 1;")
+        pruned = derive_key("cssame", root, {"prune": True})
+        unpruned = derive_key("cssame", root, {"prune": False})
+        assert pruned != unpruned
+
+    def test_option_order_is_irrelevant(self):
+        root = source_key("a = 1;")
+        a = derive_key("s", root, {"x": 1, "y": 2})
+        b = derive_key("s", root, {"y": 2, "x": 1})
+        assert a == b
+
+    def test_parent_key_propagates(self):
+        k1 = derive_key("ir", derive_key("ast", source_key("a;"), {}), {})
+        k2 = derive_key("ir", derive_key("ast", source_key("b;"), {}), {})
+        assert k1 != k2
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = ArtifactCache()
+        assert cache.get("k", "stage") is cache.MISSING
+        cache.put("k", 42)
+        assert cache.get("k", "stage") == 42
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.by_stage["stage"] == {"hits": 1, "misses": 1}
+
+    def test_lru_eviction_counts(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a", "s")  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert cache.get("b", "s") is cache.MISSING
+        assert cache.get("a", "s") == 1 and cache.get("c", "s") == 3
+        assert cache.stats.evictions == 1
+
+    def test_clear_keeps_stats(self):
+        cache = ArtifactCache()
+        cache.put("k", 1)
+        cache.get("k", "s")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_hit_rate(self):
+        cache = ArtifactCache()
+        assert cache.stats.hit_rate == 0.0
+        cache.put("k", 1)
+        cache.get("k", "s")
+        cache.get("missing", "s")
+        assert cache.stats.hit_rate == 0.5
+        assert cache.stats.as_dict()["hit_rate"] == 0.5

@@ -1,0 +1,111 @@
+"""BatchSession: ordering, error isolation, executor parity."""
+
+import os
+
+import pytest
+
+from repro.session import BatchSession, FileResult, Session
+from tests.conftest import FIGURE1_SOURCE, FIGURE2_SOURCE
+
+GOOD = {
+    "a_fig2.par": FIGURE2_SOURCE,
+    "b_fig1.par": FIGURE1_SOURCE,
+    "c_race.par": "cobegin begin v = 1; end begin v = 2; end coend print(v);",
+}
+BROKEN = "lock(L; a = ;"
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    for name, source in GOOD.items():
+        (tmp_path / name).write_text(source)
+    (tmp_path / "z_broken.par").write_text(BROKEN)
+    (tmp_path / "notes.txt").write_text("not a program")
+    return str(tmp_path)
+
+
+def _paths(corpus):
+    return [
+        os.path.join(corpus, n)
+        for n in ("a_fig2.par", "b_fig1.par", "c_race.par", "z_broken.par")
+    ]
+
+
+class TestSerial:
+    def test_results_in_input_order(self, corpus):
+        results = BatchSession(jobs=1).run(_paths(corpus))
+        assert [os.path.basename(r.path) for r in results] == [
+            "a_fig2.par", "b_fig1.par", "c_race.par", "z_broken.par",
+        ]
+
+    def test_error_isolation(self, corpus):
+        results = BatchSession(jobs=1).run(_paths(corpus))
+        ok = [r for r in results if r.ok]
+        bad = [r for r in results if not r.ok]
+        assert len(ok) == 3 and len(bad) == 1
+        assert bad[0].path.endswith("z_broken.par")
+        assert bad[0].error and "Error" in bad[0].error
+        # neighbours are untouched by the failure
+        assert ok[2].races  # the planted race is still reported
+
+    def test_missing_file_is_isolated_too(self, corpus):
+        paths = _paths(corpus) + [os.path.join(corpus, "ghost.par")]
+        results = BatchSession(jobs=1).run(paths)
+        assert results[-1].ok is False
+        assert "FileNotFoundError" in results[-1].error
+
+    def test_run_dir_picks_par_files_only(self, corpus):
+        results = BatchSession(jobs=1).run_dir(corpus)
+        assert len(results) == 4  # notes.txt skipped
+        assert all(r.path.endswith(".par") for r in results)
+
+    def test_shared_session_caches_repeats(self, corpus):
+        session = Session()
+        batch = BatchSession(jobs=1, session=session)
+        batch.run(_paths(corpus))
+        batch.run(_paths(corpus))
+        assert session.cache_stats().hits > 0
+
+
+class TestParallel:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_executors_match_serial(self, corpus, executor):
+        serial = BatchSession(jobs=1).run(_paths(corpus))
+        parallel = BatchSession(jobs=3, executor=executor).run(_paths(corpus))
+        assert [r.path for r in parallel] == [r.path for r in serial]
+        for s, p in zip(serial, parallel):
+            assert (s.ok, s.error, s.warnings, s.races, s.metrics) == (
+                p.ok, p.error, p.warnings, p.races, p.metrics,
+            )
+
+    def test_optimize_payload(self, corpus):
+        results = BatchSession(jobs=2, optimize=True).run(
+            [os.path.join(corpus, "a_fig2.par")]
+        )
+        assert results[0].optimize is not None
+        assert results[0].optimize["removed"] >= 1
+
+    def test_thread_pool_shares_one_cache(self, corpus):
+        session = Session()
+        paths = [os.path.join(corpus, "a_fig2.par")] * 4
+        BatchSession(jobs=2, executor="thread", session=session).run(paths)
+        assert session.cache_stats().hits > 0
+
+
+class TestValidation:
+    def test_bad_executor(self):
+        with pytest.raises(ValueError):
+            BatchSession(executor="rocket")
+
+    def test_bad_jobs(self):
+        with pytest.raises(ValueError):
+            BatchSession(jobs=0)
+
+    def test_summary_lines(self, corpus):
+        results = BatchSession(jobs=1).run(_paths(corpus))
+        assert results[0].summary().endswith("warnings=0 races=0")
+        assert "ERROR" in results[-1].summary()
+
+    def test_file_result_shape(self):
+        result = FileResult(path="x.par", ok=False, error="boom")
+        assert result.warnings == [] and result.metrics == {}
