@@ -5,6 +5,7 @@ precision/recall on program families with planted synchronization bugs.
 """
 
 from repro.api import diagnose_source
+from repro.bench import register
 from repro.synth import GeneratorConfig, generate_source
 
 from benchmarks.common import print_table
@@ -30,6 +31,46 @@ BUGGY = {
         cobegin begin v = 1; end begin v = 2; end coend print(v);
     """,
 }
+
+
+@register(
+    "diagnostics",
+    group="fast",
+    repeat=3,
+    summary="Section 6 diagnostics: planted bugs, precision, recall",
+)
+def bench_diagnostics() -> dict:
+    planted = {}
+    for name, source in BUGGY.items():
+        warnings, races = diagnose_source(source)
+        planted[name] = {"warnings": len(warnings), "races": len(races)}
+    assert planted["unmatched-lock"]["warnings"] >= 1
+    assert planted["improper-nesting"]["warnings"] >= 1
+    assert planted["inconsistent-locks"]["races"] >= 1
+    assert planted["bare-race"]["races"] >= 1
+    false_positives = 0
+    for seed in range(10):
+        source = generate_source(
+            GeneratorConfig(seed=seed, race_free=True, n_locks=2,
+                            p_critical=0.7)
+        )
+        _warnings, races = diagnose_source(source)
+        false_positives += len(races)
+    assert false_positives == 0
+    detected = 0
+    for seed in range(10):
+        source = generate_source(
+            GeneratorConfig(seed=seed, race_free=False, p_critical=0.1,
+                            n_shared=3)
+        )
+        _warnings, races = diagnose_source(source)
+        detected += bool(races)
+    assert detected >= 6
+    return {
+        "planted": planted,
+        "false_positives": false_positives,
+        "racy_detected": detected,
+    }
 
 
 def test_planted_bugs_detected(benchmark):

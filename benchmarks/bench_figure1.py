@@ -6,6 +6,7 @@ CSSAME, and that constant propagation proves ``g(a)`` sees ``a = 3``
 only under CSSAME.
 """
 
+from repro.bench import register
 from repro.cssame import build_cssame, parallel_reaching_definitions
 from repro.ir.printer import format_ir
 from repro.ir.stmts import SAssign, SCallStmt
@@ -43,6 +44,31 @@ def _reaching_a_counts(prune: bool) -> tuple[int, int]:
     return count_a(f_call), count_a(g_holder)
 
 
+def _constant_at_g(prune: bool) -> bool:
+    program = program_of(FIGURE1_SOURCE)
+    form = build_cssame(program, prune=prune)
+    concurrent_constant_propagation(program, form.graph)
+    return "g(3)" in format_ir(program)
+
+
+@register(
+    "figure1",
+    group="fast",
+    summary="Figure 1: mutex reduces reaching defs; constant reaches g(a)",
+)
+def bench_figure1() -> dict:
+    cssa_f, cssa_g = _reaching_a_counts(prune=False)
+    cssame_f, cssame_g = _reaching_a_counts(prune=True)
+    assert cssame_g == 1 and cssa_g > cssame_g and cssame_f == cssa_f
+    proves = {"cssa": _constant_at_g(False), "cssame": _constant_at_g(True)}
+    assert proves["cssame"] and not proves["cssa"]
+    return {
+        "reaching_f": {"cssa": cssa_f, "cssame": cssame_f},
+        "reaching_g": {"cssa": cssa_g, "cssame": cssame_g},
+        "constant_at_g": proves,
+    }
+
+
 def test_figure1_reaching_reduction(benchmark):
     cssa_f, cssa_g = _reaching_a_counts(prune=False)
     cssame_f, cssame_g = benchmark(_reaching_a_counts, True)
@@ -61,14 +87,8 @@ def test_figure1_reaching_reduction(benchmark):
 
 
 def test_figure1_constant_at_g(benchmark):
-    def run(prune):
-        program = program_of(FIGURE1_SOURCE)
-        form = build_cssame(program, prune=prune)
-        concurrent_constant_propagation(program, form.graph)
-        return "g(3)" in format_ir(program)
-
-    cssame_proves = benchmark(run, True)
-    cssa_proves = run(False)
+    cssame_proves = benchmark(_constant_at_g, True)
+    cssa_proves = _constant_at_g(False)
     print_table(
         "Figure 1: constant propagation proves g(a) == g(3)",
         ["form", "proved"],

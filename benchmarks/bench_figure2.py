@@ -7,10 +7,27 @@ and times PFG construction.
 """
 
 from repro.api import analyze_source
+from repro.bench import register
 from repro.cfg.dot import to_dot
 from repro.report import pfg_inventory
 
 from benchmarks.common import FIGURE2_SOURCE, print_table
+
+
+@register(
+    "figure2",
+    group="fast",
+    summary="Figure 2: PFG inventory and DOT render of the running example",
+)
+def bench_figure2() -> dict:
+    form = analyze_source(FIGURE2_SOURCE, prune=False)
+    inv = pfg_inventory(form)
+    assert inv["nodes_cobegin"] == 1 and inv["nodes_coend"] == 1
+    assert inv["nodes_lock"] == 2 and inv["nodes_unlock"] == 2
+    assert inv["edges_mutex"] == 2
+    dot = to_dot(form.graph, "Figure 2 PFG")
+    assert dot.count("hexagon") == 4
+    return {"inventory": {k: v for k, v in sorted(inv.items()) if v}}
 
 
 def test_figure2_pfg_inventory(benchmark):

@@ -6,6 +6,7 @@ opportunities *shrink* when conflicting access forces distinct π-guarded
 names — the CSSAME invariant at work.
 """
 
+from repro.bench import register
 from repro.cssame import build_cssame
 from repro.opt import local_value_numbering
 
@@ -34,6 +35,40 @@ def run(protected: bool):
     return local_value_numbering(program)
 
 
+_CONFLICTING_SOURCE = """
+base = 3;
+cobegin
+T0: begin
+    x = base * base;
+    y = base * base;
+    print(x, y);
+end
+T1: begin
+    base = 5;
+end
+coend
+"""
+
+
+@register(
+    "lvn",
+    group="fast",
+    summary="LVN: reuse under protection, none under conflicting writes",
+)
+def bench_lvn() -> dict:
+    protected = run(True)
+    assert protected.expressions_replaced >= 8
+    conflicting_prog = program_of(_CONFLICTING_SOURCE)
+    build_cssame(conflicting_prog)
+    conflicting = local_value_numbering(conflicting_prog)
+    assert conflicting.expressions_replaced == 0
+    return {
+        "protected_replaced": protected.expressions_replaced,
+        "conflicting_replaced": conflicting.expressions_replaced,
+        "blocks_processed": protected.blocks_processed,
+    }
+
+
 def test_lvn_reuse(benchmark):
     protected = benchmark(run, True)
     print_table(
@@ -55,20 +90,7 @@ def test_lvn_blocked_by_conflicts(benchmark):
     a fresh name and reuse disappears."""
 
     def run_conflicting():
-        source = """
-        base = 3;
-        cobegin
-        T0: begin
-            x = base * base;
-            y = base * base;
-            print(x, y);
-        end
-        T1: begin
-            base = 5;
-        end
-        coend
-        """
-        program = program_of(source)
+        program = program_of(_CONFLICTING_SOURCE)
         build_cssame(program)
         return local_value_numbering(program)
 

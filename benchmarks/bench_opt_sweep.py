@@ -7,6 +7,7 @@ LICM, with plain CSSA as the baseline form.
 
 import pytest
 
+from repro.bench import register
 from repro.ir.structured import count_statements
 from repro.opt.pipeline import optimize
 from repro.synth import (
@@ -38,6 +39,29 @@ def run(name: str, use_mutex: bool):
         "killed": report.pdce.total_removed,
         "moved": report.licm.total_moved,
         "stmts": report.statement_count(),
+    }
+
+
+@register(
+    "opt_sweep",
+    group="fast",
+    summary="CSSA vs CSSAME pipeline benefit across workload families",
+)
+def bench_opt_sweep() -> dict:
+    per_workload = {}
+    total_cssa = total_cssame = 0
+    for name in sorted(WORKLOADS):
+        cssa = run(name, use_mutex=False)
+        cssame = run(name, use_mutex=True)
+        assert cssame["stmts"] <= cssa["stmts"]
+        assert cssame["constants"] >= cssa["constants"]
+        total_cssa += cssa["stmts"]
+        total_cssame += cssame["stmts"]
+        per_workload[name] = {"cssa": cssa, "cssame": cssame}
+    assert total_cssame < total_cssa
+    return {
+        "workloads": per_workload,
+        "total_stmts": {"cssa": total_cssa, "cssame": total_cssame},
     }
 
 

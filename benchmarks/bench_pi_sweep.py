@@ -10,6 +10,7 @@ with lock coverage.
 
 import pytest
 
+from repro.bench import register
 from repro.cssame import build_cssame
 from repro.ir.structured import clone_program
 from repro.report import measure_form
@@ -36,6 +37,36 @@ def sweep_row(fraction: float) -> tuple:
         else 100.0 * (cssa.pi_args - cssame.pi_args) / cssa.pi_args
     )
     return fraction, cssa.pi_args, cssame.pi_args, f"{reduction:.0f}%"
+
+
+@register(
+    "pi_sweep",
+    group="fast",
+    summary="π-argument reduction vs lock density and thread count",
+)
+def bench_pi_sweep() -> dict:
+    rows = [sweep_row(f) for f in FRACTIONS]
+    reductions = [(r[1] - r[2]) / r[1] if r[1] else 0.0 for r in rows]
+    assert reductions[0] == 0.0
+    assert all(b >= a - 1e-9 for a, b in zip(reductions, reductions[1:]))
+    assert reductions[-1] > 0.5
+    threads = {}
+    for n in (2, 3, 4):
+        base = lock_density_sweep(0.75, n_threads=n, n_stmts=6)
+        stats = build_cssame(base, prune=True).rewrite_stats
+        assert stats.args_removed > 0
+        threads[str(n)] = {
+            "args_before": stats.args_before,
+            "args_after": stats.args_after,
+            "pis_deleted": stats.pis_deleted,
+        }
+    return {
+        "density": [
+            {"fraction": r[0], "cssa_args": r[1], "cssame_args": r[2]}
+            for r in rows
+        ],
+        "threads": threads,
+    }
 
 
 def test_pi_reduction_vs_lock_density(benchmark):

@@ -8,6 +8,7 @@ and the complexity of the Python prototype is documented.
 
 import pytest
 
+from repro.bench import register
 from repro.cfg.builder import build_flow_graph
 from repro.cssame import build_cssame, parallel_reaching_definitions
 from repro.ir.structured import clone_program, count_statements
@@ -20,6 +21,45 @@ from repro.opt import (
 from repro.synth import GeneratorConfig, generate_program
 
 SIZES = [4, 12, 20]
+
+
+@register(
+    "scalability",
+    group="slow",
+    repeat=2,
+    summary="every compilation phase across generated program sizes",
+)
+def bench_scalability() -> dict:
+    by_size = {}
+    for size in SIZES:
+        program = make(size)
+        graph = build_flow_graph(program)
+        assert len(graph.blocks) > size
+        structures = identify_mutex_structures(graph)
+        assert sum(len(s) for s in structures.values()) > 0
+        form = build_cssame(make(size))
+        assert form.rewrite_stats is not None
+        rd_prog = make(size)
+        build_cssame(rd_prog)
+        info = parallel_reaching_definitions(rd_prog)
+        assert len(info.defs_of_use) > 0
+        cp_prog = make(size)
+        cp_form = build_cssame(cp_prog)
+        cp = concurrent_constant_propagation(cp_prog, cp_form.graph)
+        dce_prog = make(size)
+        build_cssame(dce_prog)
+        dce = parallel_dead_code_elimination(dce_prog)
+        licm_prog = make(size)
+        build_cssame(licm_prog)
+        licm = lock_independent_code_motion(licm_prog)
+        by_size[str(size)] = {
+            "blocks": len(graph.blocks),
+            "statements": count_statements(program),
+            "constants": len(cp.constants),
+            "dce_removed": dce.total_removed,
+            "licm_moved": licm.total_moved,
+        }
+    return {"sizes": by_size}
 
 
 def make(size: int):

@@ -27,6 +27,7 @@ import tempfile
 from time import perf_counter
 
 from repro import api
+from repro.bench import register
 from repro.session import BatchSession, Session
 
 from benchmarks.common import print_table
@@ -148,6 +149,9 @@ def measure_batch() -> dict:
     return {
         "files": files,
         "cpu_count": os.cpu_count(),
+        # The process-pool scaling assertion needs >=2 real cores; the
+        # marker records that this record's scaling claim was skipped.
+        "gated": (os.cpu_count() or 1) < 2,
         "wall_ms": {k: round(v * 1e3, 1) for k, v in timings.items()},
         "speedup_vs_serial": {
             k: round(serial / v, 2) for k, v in timings.items() if k != "serial"
@@ -165,6 +169,31 @@ def emit_bench_session(journey: dict, batch: dict) -> dict:
         json.dump(payload, handle, indent=1, sort_keys=True)
         handle.write("\n")
     return payload
+
+
+@register(
+    "session_cache",
+    group="slow",
+    repeat=1,
+    profile=False,  # the cache journeys time themselves; an ambient
+    # tracer (fresh_when_traced sessions, span cost) would distort them
+    summary="artifact-cache journey speedups and batch-driver scaling",
+    emits=("BENCH_session.json",),
+)
+def bench_session_cache() -> dict:
+    journey = measure_journey()
+    assert journey["speedup_fill"] > 1.0, journey
+    assert journey["speedup_steady"] >= 2.0, journey
+    assert journey["speedup_amortized"] >= 2.0, journey
+    batch = measure_batch()
+    if batch["gated"]:
+        print(
+            f"// scaling assertion gated: cpu_count={batch['cpu_count']} < 2 "
+            "(parity still asserted)"
+        )
+    else:
+        assert batch["speedup_vs_serial"]["process_x2"] >= 1.3, batch
+    return emit_bench_session(journey, batch)
 
 
 def test_session_cache_journey_speedup():
@@ -209,7 +238,12 @@ def test_batch_scaling_and_parity():
     # process pool only adds fork+pickle overhead, so the scaling
     # assertion is hardware-gated.  Result parity is asserted inside
     # measure_batch() unconditionally.
-    if (batch["cpu_count"] or 1) >= 2:
+    if batch["gated"]:
+        print(
+            f"// scaling assertion gated: cpu_count={batch['cpu_count']} < 2 "
+            "(parity still asserted)"
+        )
+    else:
         assert batch["speedup_vs_serial"]["process_x2"] >= 1.3, batch
     test_batch_scaling_and_parity.result = batch
 

@@ -21,6 +21,7 @@ whole observability trajectory.
 from time import perf_counter
 
 from repro.api import optimize_source
+from repro.bench import register
 from repro.obs.trace import NULL_TRACER, Tracer
 
 from benchmarks.common import FIGURE_CORPUS, emit_bench_obs, print_table
@@ -55,6 +56,36 @@ def _null_site_cost() -> float:
                 if tracer.enabled:  # pragma: no cover - never taken
                     raise AssertionError
     return _best_of(loop) / _NULL_ITERS
+
+
+@register(
+    "trace_overhead",
+    group="slow",
+    repeat=1,
+    profile=False,  # this benchmark A/B-times the tracer itself; an
+    # ambient enabled tracer would invalidate its disabled-side numbers
+    summary="tracer overhead bound (<5% disabled) on the figure corpus",
+    emits=("BENCH_obs.json",),
+)
+def bench_trace_overhead() -> dict:
+    site_cost = _null_site_cost()
+    figures = {}
+    for name, source in FIGURE_CORPUS.items():
+        disabled = _best_of(lambda: optimize_source(source))
+        probe = Tracer()
+        optimize_source(source, trace=probe)
+        sites = len(probe.records)
+        disabled_overhead = sites * site_cost / disabled
+        assert disabled_overhead < 0.05, (
+            f"{name}: disabled-tracer overhead {disabled_overhead:.2%}"
+        )
+        figures[name] = {
+            "disabled_ms": round(disabled * 1e3, 6),
+            "sites": sites,
+            "disabled_overhead_pct": round(disabled_overhead * 100, 4),
+        }
+    emit_bench_obs()
+    return {"site_cost_ns": round(site_cost * 1e9, 2), "figures": figures}
 
 
 def test_trace_overhead_corpus():

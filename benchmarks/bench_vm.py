@@ -5,6 +5,7 @@
   and average steps threads sit blocked, before vs after optimization.
 """
 
+from repro.bench import register
 from repro.ir.structured import clone_program
 from repro.opt.pipeline import optimize
 from repro.report import critical_section_profile
@@ -14,6 +15,56 @@ from repro.vm.explore import explore
 from repro.vm.machine import run_random
 
 from benchmarks.common import FIGURE2_SOURCE, print_table, program_of
+
+
+@register(
+    "vm",
+    group="slow",
+    repeat=3,
+    summary="VM throughput, explorer cost, equivalence check on Figure 2",
+)
+def bench_vm() -> dict:
+    program = program_of(FIGURE2_SOURCE)
+    ex = run_random(program, seed=1)
+    assert ex.printed[0] == (13,)
+    res = explore(program)
+    assert res.complete and len(res.outcomes) == 2
+    opt_prog = program_of(FIGURE2_SOURCE)
+    report = optimize(opt_prog)
+    eq = exhaustive_equivalence(report.baseline, opt_prog)
+    assert eq.equal
+    return {
+        "vm_steps": ex.steps,
+        "explorer_states": res.states,
+        "behaviours": len(res.outcomes),
+        "equivalent": eq.equal,
+    }
+
+
+@register(
+    "licm_runtime",
+    group="slow",
+    repeat=2,
+    summary="LICM runtime payoff: lock-held and blocked steps drop",
+)
+def bench_licm_runtime() -> dict:
+    payoff = {}
+    for label, before_prog in (
+        ("straightline", licm_padding(n_threads=2, n_private_stmts=6)),
+        ("whole_loop", licm_loop_padding(n_threads=2, loop_iters=4)),
+    ):
+        after_prog = clone_program(before_prog)
+        report = optimize(after_prog, fold_output_uses=False)
+        assert report.licm.total_moved > 0
+        before = critical_section_profile(before_prog, seeds=range(10))
+        after = critical_section_profile(after_prog, seeds=range(10))
+        assert after["avg_lock_held_steps"] < before["avg_lock_held_steps"]
+        payoff[label] = {
+            "moved": report.licm.total_moved,
+            "lock_held_before": before["avg_lock_held_steps"],
+            "lock_held_after": after["avg_lock_held_steps"],
+        }
+    return payoff
 
 
 def test_vm_throughput(benchmark):

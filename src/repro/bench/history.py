@@ -1,0 +1,66 @@
+"""Append-only benchmark history (``BENCH_history.jsonl``).
+
+One JSON record per line, append-only: the file is a time series of
+:func:`repro.bench.runner.run_suite` records.  ``repro bench`` appends
+after every run; ``repro bench --check`` reads the *previous* record of
+the same group as its implicit baseline.
+
+Unparseable lines are skipped on load (a truncated final line from an
+interrupted run must not poison the history).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = [
+    "DEFAULT_HISTORY",
+    "append_record",
+    "load_history",
+    "previous_record",
+]
+
+DEFAULT_HISTORY = "BENCH_history.jsonl"
+
+PathLike = Union[str, Path]
+
+
+def append_record(record: dict, path: PathLike = DEFAULT_HISTORY) -> Path:
+    """Append one record as a single JSON line; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return target
+
+
+def load_history(path: PathLike = DEFAULT_HISTORY) -> list[dict]:
+    """All parseable records of a history file, oldest first."""
+    target = Path(path)
+    if not target.exists():
+        return []
+    records: list[dict] = []
+    with target.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                parsed = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(parsed, dict):
+                records.append(parsed)
+    return records
+
+
+def previous_record(
+    records: list[dict], group: Optional[str] = None
+) -> Optional[dict]:
+    """Latest record matching ``group`` (None matches any group)."""
+    for record in reversed(records):
+        if group is None or record.get("group") == group:
+            return record
+    return None

@@ -172,4 +172,16 @@ class _Builder:
 def build_flow_graph(program: ProgramIR) -> FlowGraph:
     """Build a fresh PFG for ``program`` (control edges only; conflict,
     mutex and sync edges are added by :mod:`repro.cfg.conflicts`)."""
-    return _Builder().run(program)
+    graph = _Builder().run(program)
+    from repro.obs.trace import get_tracer
+
+    if get_tracer().enabled:
+        from repro.obs.prof import record_work
+
+        record_work(
+            "pfg",
+            blocks=len(graph.blocks),
+            edges=sum(len(b.succs) for b in graph.blocks),
+            statements=sum(len(b.stmts) for b in graph.blocks),
+        )
+    return graph

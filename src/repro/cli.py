@@ -17,18 +17,27 @@ Commands
 ``dot``       print a Graphviz rendering of the PFG.
 ``stats``     run the pipeline under a tracer and print the per-pass
               timing/decision/metrics tables.
+``profile``   run the pipeline under a tracer and print the per-phase
+              wall-time and deterministic work-counter tables.
+``bench``     run the registered benchmarks (``--list`` to enumerate,
+              ``--group`` to filter) with statistical timing, append a
+              record to ``BENCH_history.jsonl``, and with ``--check``
+              gate against the previous record (exit 1 on regression).
 
 All commands read the program from a file argument or, with ``-``,
-from stdin, and accept ``--trace FILE --trace-format {jsonl,chrome,text}``
-to capture a full trace of the run (``chrome`` traces load in
-``chrome://tracing`` / Perfetto; see ``docs/OBSERVABILITY.md``).
+from stdin, and accept ``--trace FILE`` with
+``--trace-format {jsonl,chrome,text,flame}`` to capture a full trace
+of the run (``chrome`` traces load in ``chrome://tracing`` / Perfetto;
+``flame`` is Brendan-Gregg collapsed-stack for flamegraph tools; see
+``docs/OBSERVABILITY.md``).
 
 Exit-code contract
 ------------------
 
 * ``0`` — success (for ``diagnose``: no findings, or ``--no-strict``).
 * ``1`` — ``diagnose`` found warnings/races under ``--strict`` (the
-  default), or ``witness`` found no matching schedule.
+  default), ``witness`` found no matching schedule, or ``bench``
+  detected a regression (``--check``) or a failing benchmark.
 * ``2`` — the executed/explored program can deadlock.
 * ``3`` — usage or input error (parse error, missing file, ...).
 
@@ -250,7 +259,185 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if counters:
         print()
         _print_table("counters", ["counter", "value"], sorted(counters.items()))
+    # Span durations as a distribution: the percentile columns make
+    # outlier passes visible at a glance (satellite of the VM's
+    # lock-hold histograms, which land here too when present).
+    span_hist = tracer.metrics.histogram("span_wall_ms")
+    for span in tracer.spans():
+        span_hist.observe(span.duration * 1e3)
+    histograms = tracer.metrics.as_dict()["histograms"]
+    if histograms:
+        print()
+        _print_table(
+            "histograms",
+            ["histogram", "n", "min", "p50", "p90", "p99", "max"],
+            [
+                (
+                    name,
+                    s["count"],
+                    f"{s['min']:g}",
+                    f"{s['p50']:g}",
+                    f"{s['p90']:g}",
+                    f"{s['p99']:g}",
+                    f"{s['max']:g}",
+                )
+                for name, s in sorted(histograms.items())
+            ],
+        )
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Per-phase wall-time and deterministic work-counter tables."""
+    import json
+
+    from repro.obs.prof import profile_source
+
+    source = _read_source(args.file)
+    ambient = get_tracer()
+    # Reuse the --trace tracer so the run can be exported (e.g. as a
+    # flamegraph via --trace-format flame); otherwise profile privately.
+    tracer = ambient if ambient.enabled else None
+    profile = profile_source(source, use_mutex=not args.cssa, tracer=tracer)
+
+    wall: dict[str, list[float]] = {}
+    for span in profile.tracer.spans():
+        wall.setdefault(span.name, []).append(span.duration * 1e3)
+    _print_table(
+        "per-phase wall time",
+        ["phase", "calls", "total_ms"],
+        [
+            (name, len(samples), f"{sum(samples):.3f}")
+            for name, samples in sorted(wall.items())
+        ],
+    )
+
+    print()
+    rows = [
+        (phase, metric, value)
+        for phase, metrics in sorted(profile.phases.items())
+        for metric, value in sorted(metrics.items())
+    ]
+    _print_table("deterministic work counters", ["phase", "metric", "ops"], rows)
+    print(f"// total work: {profile.total()} op(s)")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(profile.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"// profile written to {args.json}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run registered benchmarks; append history; optionally gate."""
+    import json
+
+    from repro import bench as benchlib
+    from repro.obs.prof import WORK_PREFIX
+
+    modules = benchlib.discover()
+    try:
+        benches = benchlib.select(group=args.group, names=args.names or None)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 3
+    if args.list:
+        _print_table(
+            f"registered benchmarks ({modules} module(s) discovered)",
+            ["name", "group", "cap", "profiled", "summary"],
+            [
+                (
+                    b.name,
+                    b.group,
+                    b.repeat if b.repeat is not None else "-",
+                    "yes" if b.profile else "no",
+                    b.summary,
+                )
+                for b in benches
+            ],
+        )
+        return 0
+    if not benches:
+        print("error: no benchmarks selected", file=sys.stderr)
+        return 3
+
+    repeat = args.repeat if args.repeat is not None else benchlib.DEFAULT_REPEAT
+    warmup = args.warmup if args.warmup is not None else benchlib.DEFAULT_WARMUP
+    history_path = args.history or benchlib.DEFAULT_HISTORY
+    record = benchlib.run_suite(
+        benches, repeat=repeat, warmup=warmup, group=args.group
+    )
+    rows = []
+    for name, result in sorted(record["results"].items()):
+        stats = result["wall"]
+        work = sum(
+            v
+            for k, v in (result["counters"] or {}).items()
+            if k.startswith(WORK_PREFIX)
+        )
+        def _ms(key: str) -> str:
+            return f"{stats[key]:.3f}" if key in stats else "-"
+
+        rows.append(
+            (
+                name,
+                result["group"],
+                _ms("median_ms"),
+                _ms("iqr_ms"),
+                _ms("min_ms"),
+                work if work else "-",
+                "ERROR" if result["error"] else "ok",
+            )
+        )
+    _print_table(
+        "bench",
+        ["name", "group", "median_ms", "iqr_ms", "min_ms", "work_ops", "status"],
+        rows,
+    )
+    for name, result in sorted(record["results"].items()):
+        if result["error"]:
+            print(f"error: {name}: {result['error']}", file=sys.stderr)
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"// record written to {args.json}")
+
+    # Load before appending so the implicit baseline is the *previous*
+    # run, then append this run unconditionally (append-only history).
+    existing = benchlib.load_history(history_path)
+    benchlib.append_record(record, history_path)
+    print(f"// appended record #{len(existing) + 1} to {history_path}")
+
+    errors = sum(1 for r in record["results"].values() if r["error"])
+    if not args.check:
+        return 1 if errors else 0
+
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    else:
+        baseline = benchlib.previous_record(existing, group=args.group)
+    if baseline is None:
+        print("// no baseline record yet; gate passes vacuously")
+        return 1 if errors else 0
+    regressions = benchlib.compare_records(
+        record,
+        baseline,
+        counter_tolerance=(
+            args.counter_tolerance
+            if args.counter_tolerance is not None
+            else benchlib.COUNTER_TOLERANCE
+        ),
+        wall_rel=(
+            args.wall_threshold
+            if args.wall_threshold is not None
+            else benchlib.WALL_REL_THRESHOLD
+        ),
+    )
+    print(benchlib.format_regressions(regressions))
+    return 1 if regressions or errors else 0
 
 
 def _cmd_witness(args: argparse.Namespace) -> int:
@@ -399,6 +586,69 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--cssa", action="store_true", help="use plain CSSA")
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "profile",
+        help="per-phase wall-time and deterministic work-counter tables",
+        parents=[tracing],
+    )
+    p.add_argument("file")
+    p.add_argument("--cssa", action="store_true", help="use plain CSSA")
+    p.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the profile (wall + work counters) as JSON",
+    )
+    p.set_defaults(func=_cmd_profile)
+
+    # No tracing parent: an ambient tracer would distort the timed runs
+    # (the runner enables its own tracer for the work-counter pass).
+    p = sub.add_parser(
+        "bench",
+        help="run registered benchmarks; append history; gate with --check",
+    )
+    p.add_argument(
+        "names", nargs="*",
+        help="benchmark names to run (default: all selected by --group)",
+    )
+    p.add_argument(
+        "--group", default=None,
+        help="only benchmarks of this group (fast = the CI gate subset)",
+    )
+    p.add_argument("--list", action="store_true", help="list and exit")
+    p.add_argument(
+        "--repeat", type=int, default=None, metavar="N",
+        help="timed repeats per benchmark (default: 5; capped per bench)",
+    )
+    p.add_argument(
+        "--warmup", type=int, default=None, metavar="N",
+        help="untimed warmup calls per benchmark (default: 1)",
+    )
+    p.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write this run's record as JSON",
+    )
+    p.add_argument(
+        "--history", metavar="FILE", default=None,
+        help="history file to append to (default: BENCH_history.jsonl)",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="compare against the previous record (or --baseline); "
+             "exit 1 on regression",
+    )
+    p.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="explicit baseline record (JSON) for --check",
+    )
+    p.add_argument(
+        "--counter-tolerance", type=float, default=None, metavar="FRAC",
+        help="allowed relative work-counter growth (default: 0.05)",
+    )
+    p.add_argument(
+        "--wall-threshold", type=float, default=None, metavar="FRAC",
+        help="relative wall-time growth required to fail (default: 0.5)",
+    )
+    p.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -72,4 +72,16 @@ def build_cssa(program: ProgramIR) -> CSSAForm:
     add_conflict_edges(graph)
     add_mutex_edges(graph)
     add_sync_edges(graph)
+    from repro.obs.trace import get_tracer
+
+    if get_tracer().enabled:
+        from repro.obs.prof import record_work
+
+        record_work(
+            "cssa",
+            pi_terms=len(pis),
+            conflict_args=sum(len(pi.conflicts) for pi in pis),
+            shared_vars=len(shared),
+            conflict_edges=len(graph.conflict_edges),
+        )
     return CSSAForm(program, graph, ssa, pis, shared)

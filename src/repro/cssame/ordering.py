@@ -175,12 +175,14 @@ def prune_pi_terms_by_ordering(
         return stats  # no events, nothing to do
 
     pis = [s for s, _ in iter_statements(program) if isinstance(s, Pi)]
+    args_examined = 0
     for pi in pis:
         if not graph.contains_stmt(pi):
             continue
         use_block = graph.block_of(pi).id
         kept = []
         for arg in pi.conflicts:
+            args_examined += 1
             site = arg.def_site
             if isinstance(site, SAssign) and graph.contains_stmt(site):
                 def_block = graph.block_of(site).id
@@ -207,4 +209,16 @@ def prune_pi_terms_by_ordering(
                     break
             stats.pis_deleted += 1
         graph.reindex_statements()
+    from repro.obs.trace import get_tracer
+
+    if get_tracer().enabled:
+        from repro.obs.prof import record_work
+
+        record_work(
+            "ordering",
+            pi_terms=len(pis),
+            args_examined=args_examined,
+            args_removed=stats.args_removed,
+            pis_deleted=stats.pis_deleted,
+        )
     return stats

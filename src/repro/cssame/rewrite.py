@@ -123,6 +123,16 @@ def rewrite_pi_terms(
                 )
                 tracer.counter("cssame.pis_deleted").inc()
         graph.reindex_statements()
+    if tracer.enabled:
+        from repro.obs.prof import record_work
+
+        record_work(
+            "rewrite-pi",
+            pi_terms=stats.pis_before,
+            conflict_args=stats.args_before,
+            args_removed=stats.args_removed,
+            pis_deleted=stats.pis_deleted,
+        )
     return stats
 
 

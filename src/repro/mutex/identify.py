@@ -69,6 +69,7 @@ def identify_mutex_structures(
 
     structures: dict[str, MutexStructure] = {}
     lock_vars = sorted(set(plock) | set(punlock))
+    pairs_examined = 0
     for lock_name in lock_vars:
         structure = MutexStructure(lock_name)
         locks = plock.get(lock_name, [])
@@ -79,6 +80,7 @@ def identify_mutex_structures(
         candidates: list[tuple[int, int]] = []
         for n in locks:
             for x in unlocks:
+                pairs_examined += 1
                 if domtree.dominates(n, x) and pdomtree.dominates(x, n):
                     candidates.append((n, x))
 
@@ -96,4 +98,18 @@ def identify_mutex_structures(
                 nodes = _body_nodes(graph, domtree, pdomtree, n, x)
                 structure.add(MutexBody(lock_name, n, x, nodes))
         structures[lock_name] = structure
+    from repro.obs.trace import get_tracer
+
+    if get_tracer().enabled:
+        from repro.obs.prof import record_work
+
+        record_work(
+            "identify-mutex",
+            lock_vars=len(lock_vars),
+            pairs_examined=pairs_examined,
+            bodies=sum(len(s) for s in structures.values()),
+            body_nodes=sum(
+                len(b.nodes) for s in structures.values() for b in s.bodies
+            ),
+        )
     return structures

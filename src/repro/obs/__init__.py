@@ -32,6 +32,7 @@ from repro.obs.events import (
 from repro.obs.export import (
     TRACE_FORMATS,
     export_chrome,
+    export_collapsed,
     export_jsonl,
     load_jsonl,
     render_text,
@@ -39,6 +40,15 @@ from repro.obs.export import (
     write_trace,
 )
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.prof import (
+    WORK_PREFIX,
+    WorkProfile,
+    profile_source,
+    record_work,
+    total_work,
+    work_by_phase,
+    work_counters,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
@@ -71,14 +81,22 @@ __all__ = [
     "TRACE_FORMATS",
     "Tracer",
     "VMStep",
+    "WORK_PREFIX",
+    "WorkProfile",
     "export_chrome",
+    "export_collapsed",
     "export_jsonl",
     "get_tracer",
     "load_jsonl",
+    "profile_source",
+    "record_work",
     "render_text",
     "set_tracer",
     "tid_str",
+    "total_work",
     "trace_as_dicts",
     "use_tracer",
+    "work_by_phase",
+    "work_counters",
     "write_trace",
 ]

@@ -1,6 +1,6 @@
-"""Trace exporters: JSON-lines, Chrome ``trace_event``, text summary.
+"""Trace exporters: JSON-lines, Chrome ``trace_event``, text, flame.
 
-Three consumers, three formats:
+Four consumers, four formats:
 
 * **jsonl** — one JSON object per record (span or event) in emission
   order, terminated by a ``{"type": "metrics", ...}`` line.  The
@@ -12,6 +12,10 @@ Three consumers, three formats:
   (``i``) events carrying their payload in ``args``.
 * **text** — a human-readable summary: the span tree with wall times,
   event counts by kind, and the metrics registry.
+* **flame** — Brendan Gregg collapsed-stack format: one
+  ``root;child;leaf <microseconds>`` line per distinct span stack,
+  weighted by *self* time, ready for ``flamegraph.pl`` or
+  `speedscope <https://www.speedscope.app>`_.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from repro.obs.trace import NullTracer, Span, Tracer
 
 __all__ = [
     "export_chrome",
+    "export_collapsed",
     "export_jsonl",
     "load_jsonl",
     "render_text",
@@ -30,7 +35,7 @@ __all__ = [
     "write_trace",
 ]
 
-TRACE_FORMATS = ("jsonl", "chrome", "text")
+TRACE_FORMATS = ("jsonl", "chrome", "text", "flame")
 
 AnyTracer = Union[Tracer, NullTracer]
 
@@ -113,6 +118,43 @@ def export_chrome(tracer: AnyTracer) -> dict:
     }
 
 
+# -- collapsed stacks (flamegraph) -------------------------------------------
+
+
+def export_collapsed(tracer: AnyTracer) -> str:
+    """The span tree as collapsed stacks, weighted by self time.
+
+    One line per distinct stack path, ``a;b;c <weight>``, where the
+    weight is the span's *exclusive* wall time in integer microseconds
+    (inclusive duration minus the time spent in child spans, floored at
+    zero — clock granularity can make the children sum past the
+    parent).  Spans repeated at the same path aggregate into one line.
+    Typed events carry no duration and are skipped.
+    """
+    spans = tracer.spans()
+    # Self time = inclusive − sum(children): accumulate each span's
+    # inclusive duration onto its own path and subtract it from the
+    # parent's, using emission order + depth to rebuild the tree.
+    exclusive: dict[str, float] = {}
+    parents: list[tuple[str, int]] = []  # (path string, depth) stack
+    for span in spans:
+        end = span.end if span.end is not None else span.start
+        duration = max(end - span.start, 0.0)
+        while parents and parents[-1][1] >= span.depth:
+            parents.pop()
+        parent_path = parents[-1][0] if parents else ""
+        my_path = f"{parent_path};{span.name}" if parent_path else span.name
+        exclusive[my_path] = exclusive.get(my_path, 0.0) + duration
+        if parent_path:
+            exclusive[parent_path] = exclusive.get(parent_path, 0.0) - duration
+        parents.append((my_path, span.depth))
+    lines = [
+        f"{stack} {max(int(seconds * 1e6), 0)}"
+        for stack, seconds in exclusive.items()
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
 # -- human-readable summary --------------------------------------------------
 
 
@@ -156,5 +198,7 @@ def write_trace(tracer: AnyTracer, path: str, fmt: str = "jsonl") -> None:
         elif fmt == "chrome":
             json.dump(export_chrome(tracer), handle, indent=1, sort_keys=True)
             handle.write("\n")
+        elif fmt == "flame":
+            handle.write(export_collapsed(tracer))
         else:
             handle.write(render_text(tracer))

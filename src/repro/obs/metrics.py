@@ -7,7 +7,9 @@ null instruments whose update methods do nothing, so disabled metrics
 cost one method call and no allocation.
 
 Histograms keep raw observations (runs are small — thousands of points,
-not millions); the exported summary is count/min/max/mean/total.
+not millions); the exported summary is count/min/max/mean/total plus
+the p50/p90/p99 percentiles (nearest-rank, so every reported value is
+one that was actually observed).
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NullRegistry",
+    "percentile",
 ]
 
 
@@ -37,6 +40,18 @@ class Counter:
         return f"Counter({self.name}={self.value})"
 
 
+_EMPTY_SUMMARY = {
+    "count": 0, "min": 0.0, "max": 0.0, "mean": 0.0, "total": 0.0,
+    "p50": 0.0, "p90": 0.0, "p99": 0.0,
+}
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted, non-empty list."""
+    rank = max(1, -(-int(q * 100) * len(sorted_values) // 100))  # ceil
+    return sorted_values[rank - 1]
+
+
 class Histogram:
     """A named distribution of numeric observations."""
 
@@ -51,14 +66,18 @@ class Histogram:
 
     def summary(self) -> dict[str, float]:
         if not self.values:
-            return {"count": 0, "min": 0.0, "max": 0.0, "mean": 0.0, "total": 0.0}
+            return dict(_EMPTY_SUMMARY)
         total = sum(self.values)
+        ordered = sorted(self.values)
         return {
             "count": len(self.values),
-            "min": min(self.values),
-            "max": max(self.values),
+            "min": ordered[0],
+            "max": ordered[-1],
             "mean": total / len(self.values),
             "total": total,
+            "p50": percentile(ordered, 0.50),
+            "p90": percentile(ordered, 0.90),
+            "p99": percentile(ordered, 0.99),
         }
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -104,7 +123,8 @@ class MetricsRegistry:
             s = hist.summary()
             lines.append(
                 f"  {name}: n={s['count']} min={s['min']:g} "
-                f"max={s['max']:g} mean={s['mean']:g} total={s['total']:g}"
+                f"max={s['max']:g} mean={s['mean']:g} total={s['total']:g} "
+                f"p50={s['p50']:g} p90={s['p90']:g} p99={s['p99']:g}"
             )
         return "\n".join(lines)
 
@@ -127,7 +147,7 @@ class _NullHistogram:
         return None
 
     def summary(self) -> dict[str, float]:
-        return {"count": 0, "min": 0.0, "max": 0.0, "mean": 0.0, "total": 0.0}
+        return dict(_EMPTY_SUMMARY)
 
 
 _NULL_COUNTER = _NullCounter()

@@ -76,6 +76,9 @@ class _Analysis:
         self.usemap: UseMap = build_use_map(program)
         self._flow: list[tuple[int, int]] = []
         self._ssa: list[IRStmt] = []
+        #: lattice evaluations performed — the pass's deterministic
+        #: work measure (see repro.obs.prof)
+        self.evals = 0
         #: φ → positional arg↔pred mapping (None = conservative)
         self._phi_preds: dict[Phi, Optional[list[int]]] = {}
 
@@ -113,6 +116,7 @@ class _Analysis:
         return result
 
     def evaluate(self, stmt: IRStmt) -> LatticeValue:
+        self.evals += 1
         if isinstance(stmt, SAssign):
             return eval_expr(stmt.value, self.value_of_var)
         if isinstance(stmt, Phi):
@@ -545,4 +549,17 @@ def concurrent_constant_propagation(
     analysis.run()
     stats = ConstPropStats()
     _Transformer(analysis, stats, fold_output_uses).run()
+    from repro.obs.trace import get_tracer
+
+    if get_tracer().enabled:
+        from repro.obs.prof import record_work
+
+        record_work(
+            "constprop",
+            lattice_evals=analysis.evals,
+            executable_blocks=len(analysis.executable_blocks),
+            executable_edges=len(analysis.executable_edges),
+            constants=len(stats.constants),
+            uses_replaced=stats.uses_replaced,
+        )
     return stats

@@ -71,6 +71,9 @@ class _Conflicts:
     def __init__(self, graph: FlowGraph) -> None:
         self.graph = graph
         self.sites: dict[str, list[AccessSite]] = collect_access_sites(graph)
+        #: Definition 5 checks performed — LICM's deterministic work
+        #: measure (see repro.obs.prof)
+        self.independence_checks = 0
 
     def has_concurrent_write(self, var: str, block: BasicBlock) -> bool:
         for site in self.sites.get(var, []):
@@ -89,6 +92,7 @@ class _Conflicts:
     def lock_independent(self, stmt: IRStmt, block: BasicBlock) -> bool:
         """Definition 5, conservatively: no concurrent write to anything
         the statement touches, no concurrent read of anything it writes."""
+        self.independence_checks += 1
         if not isinstance(stmt, SAssign):
             return False
         if _contains_call(stmt.value):
@@ -422,4 +426,16 @@ def lock_independent_code_motion(
             # anything the region move uncovered.
             _RegionMotion(graph, conflicts, stats).run(body)
             motion.remove_if_empty()
+    from repro.obs.trace import get_tracer
+
+    if get_tracer().enabled:
+        from repro.obs.prof import record_work
+
+        record_work(
+            "licm",
+            bodies=sum(len(s) for s in structures.values()),
+            independence_checks=conflicts.independence_checks,
+            moved=stats.total_moved,
+            locks_removed=stats.locks_removed,
+        )
     return stats

@@ -195,4 +195,14 @@ def local_value_numbering(
                 if target is not None:
                     table.invalidate_base(target)
             # sync ops occupy their own nodes; nothing to do here
+    from repro.obs.trace import get_tracer
+
+    if get_tracer().enabled:
+        from repro.obs.prof import record_work
+
+        record_work(
+            "lvn",
+            blocks_processed=stats.blocks_processed,
+            replaced=stats.expressions_replaced,
+        )
     return stats

@@ -80,7 +80,10 @@ class PDCEStats:
         )
 
 
-def _mark_live(program: ProgramIR, graph: FlowGraph) -> set[IRStmt]:
+def _mark_live(
+    program: ProgramIR, graph: FlowGraph
+) -> tuple[set[IRStmt], int]:
+    """Mark phase; returns (live set, statements scanned for seeds)."""
     pdom = compute_postdominators(graph)
     pdf = postdominance_frontiers(graph, pdom)
 
@@ -92,7 +95,9 @@ def _mark_live(program: ProgramIR, graph: FlowGraph) -> set[IRStmt]:
             live.add(stmt)
             worklist.append(stmt)
 
+    scanned = 0
     for stmt, _ctx in iter_statements(program):
+        scanned += 1
         if isinstance(stmt, _SEED_KINDS):
             mark(stmt)
 
@@ -110,7 +115,7 @@ def _mark_live(program: ProgramIR, graph: FlowGraph) -> set[IRStmt]:
                 ctrl_block = graph.blocks[ctrl_id]
                 if ctrl_block.stmts and isinstance(ctrl_block.stmts[-1], SBranch):
                     mark(ctrl_block.stmts[-1])
-    return live
+    return live, scanned
 
 
 class _Sweeper:
@@ -205,7 +210,19 @@ def parallel_dead_code_elimination(
     """Run PDCE on an SSA/CSSA/CSSAME-form ``program``, in place."""
     if graph is None:
         graph = build_flow_graph(program)
-    live = _mark_live(program, graph)
+    live, scanned = _mark_live(program, graph)
     stats = PDCEStats()
     _Sweeper(live, stats).sweep_body(program.body)
+    from repro.obs.trace import get_tracer
+
+    if get_tracer().enabled:
+        from repro.obs.prof import record_work
+
+        record_work(
+            "pdce",
+            stmts_scanned=scanned,
+            marked_live=len(live),
+            removed=stats.total_removed,
+            regions_removed=stats.regions_removed,
+        )
     return stats

@@ -131,6 +131,10 @@ class Session:
             parent_value = self._artifact(spec.parent, source, parent_request)
         with tracer.span(f"stage:{stage}", cache_hit=False):
             value = spec.compute(parent_value, self._options_for(stage, request))
+        if tracer.enabled:
+            # Deterministic work hook: one unit per stage actually
+            # computed (cache hits cost no stage work by definition).
+            tracer.counter(f"work.session.compute.{stage}").inc()
         self.cache.put(key, value)
         return value
 

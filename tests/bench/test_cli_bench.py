@@ -1,0 +1,123 @@
+"""CLI contract of ``repro bench`` and ``repro profile``."""
+
+import json
+
+import pytest
+
+import repro.bench
+from repro.bench import registry as reg
+from repro.cli import main
+from repro.obs.prof import record_work
+from tests.conftest import FIGURE2_SOURCE
+
+
+@pytest.fixture()
+def fake_suite(monkeypatch):
+    """A private registry with one deterministic benchmark; discovery
+    disabled so the real benchmarks don't leak in."""
+    monkeypatch.setattr(reg, "_REGISTRY", {})
+    monkeypatch.setattr(repro.bench, "discover", lambda package="benchmarks": 1)
+
+    @reg.register("toy", group="fast", summary="deterministic toy")
+    def toy():
+        record_work("toy", visits=10)
+        return {"answer": 42}
+
+    return reg
+
+
+def _bench(tmp_path, *extra):
+    history = tmp_path / "hist.jsonl"
+    return main(["bench", "--group", "fast", "--repeat", "2",
+                 "--history", str(history), *extra]), history
+
+
+def test_bench_runs_and_appends(fake_suite, tmp_path, capsys):
+    code, history = _bench(tmp_path)
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "toy" in out and "appended record #1" in out
+    records = repro.bench.load_history(history)
+    assert len(records) == 1
+    assert records[0]["results"]["toy"]["counters"] == {"work.toy.visits": 10}
+
+
+def test_bench_check_passes_on_identical_reruns(fake_suite, tmp_path, capsys):
+    code1, history = _bench(tmp_path)
+    code2, _ = _bench(tmp_path, "--check")
+    assert (code1, code2) == (0, 0)
+    assert "no regressions" in capsys.readouterr().out
+    assert len(repro.bench.load_history(history)) == 2
+
+
+def test_bench_check_vacuous_without_baseline(fake_suite, tmp_path, capsys):
+    code, _ = _bench(tmp_path, "--check")
+    assert code == 0
+    assert "vacuously" in capsys.readouterr().out
+
+
+def test_bench_check_fails_on_inflated_counters(fake_suite, tmp_path, capsys):
+    code1, history = _bench(tmp_path)
+    assert code1 == 0
+    # Doctor a baseline that claims the work used to be half: the
+    # current (unchanged) run then looks 2x inflated and must fail.
+    baseline = repro.bench.load_history(history)[0]
+    baseline["results"]["toy"]["counters"]["work.toy.visits"] = 5
+    doctored = tmp_path / "baseline.json"
+    doctored.write_text(json.dumps(baseline))
+    code2, _ = _bench(tmp_path, "--check", "--baseline", str(doctored))
+    assert code2 == 1
+    assert "[counter] toy" in capsys.readouterr().out
+
+
+def test_bench_errors_exit_nonzero(fake_suite, tmp_path, capsys):
+    @reg.register("broken", group="fast")
+    def broken():
+        raise RuntimeError("kaput")
+
+    code, _ = _bench(tmp_path)
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "broken" in err and "kaput" in err
+
+
+def test_bench_list_and_unknown_name(fake_suite, tmp_path, capsys):
+    assert main(["bench", "--list"]) == 0
+    assert "toy" in capsys.readouterr().out
+    assert main(["bench", "nope", "--history",
+                 str(tmp_path / "h.jsonl")]) == 3
+
+
+def test_bench_json_record(fake_suite, tmp_path):
+    out = tmp_path / "record.json"
+    code, _ = _bench(tmp_path, "--json", str(out))
+    assert code == 0
+    record = json.loads(out.read_text())
+    assert record["results"]["toy"]["payload"] == {"answer": 42}
+
+
+def test_profile_command_tables(tmp_path, capsys):
+    source = tmp_path / "p.par"
+    source.write_text(FIGURE2_SOURCE)
+    out = tmp_path / "profile.json"
+    assert main(["profile", str(source), "--json", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "deterministic work counters" in printed
+    assert "constprop" in printed and "total work" in printed
+    profile = json.loads(out.read_text())
+    assert profile["total_work"] == sum(profile["work"].values())
+    assert any(k.startswith("work.cssa.") for k in profile["work"])
+
+
+def test_profile_flame_trace_export(tmp_path):
+    source = tmp_path / "p.par"
+    source.write_text(FIGURE2_SOURCE)
+    flame = tmp_path / "out.flame"
+    assert main(["profile", str(source), "--trace", str(flame),
+                 "--trace-format", "flame"]) == 0
+    lines = flame.read_text().strip().splitlines()
+    assert lines
+    for line in lines:
+        stack, weight = line.rsplit(" ", 1)
+        assert stack and int(weight) >= 0
+    assert any(";" in line for line in lines)  # nested stacks present

@@ -1,0 +1,87 @@
+"""Registry semantics: register, select, discover."""
+
+import pytest
+
+from repro.bench import registry as reg
+
+
+@pytest.fixture()
+def fresh(monkeypatch):
+    """An empty registry, restored afterwards."""
+    monkeypatch.setattr(reg, "_REGISTRY", {})
+    return reg
+
+
+def test_register_keeps_fn_callable(fresh):
+    @fresh.register("a", group="fast", summary="s")
+    def a():
+        return 42
+
+    assert a() == 42  # decorator returns the function unchanged
+    bench = fresh.registered()["a"]
+    assert bench.fn is a and bench.group == "fast" and bench.summary == "s"
+    assert a.benchmark is bench
+
+
+def test_register_defaults_summary_from_docstring(fresh):
+    @fresh.register("a")
+    def a():
+        """First line.
+
+        More.
+        """
+
+    assert fresh.registered()["a"].summary == "First line."
+
+
+def test_duplicate_name_rejected(fresh):
+    @fresh.register("a")
+    def a():
+        pass
+
+    with pytest.raises(ValueError, match="already registered"):
+        @fresh.register("a")
+        def b():
+            pass
+
+
+def test_reregistering_same_fn_is_idempotent(fresh):
+    def a():
+        pass
+
+    fresh.register("a")(a)
+    fresh.register("a")(a)  # module re-imported under the same name
+    assert list(fresh.registered()) == ["a"]
+
+
+def test_select_by_group_and_name(fresh):
+    for name, group in (("b", "fast"), ("a", "fast"), ("c", "slow")):
+        fresh.register(name, group=group)(lambda: None)
+    assert [b.name for b in fresh.select()] == ["a", "b", "c"]  # sorted
+    assert [b.name for b in fresh.select(group="fast")] == ["a", "b"]
+    assert [b.name for b in fresh.select(names=["c"])] == ["c"]
+    with pytest.raises(KeyError, match="unknown benchmark"):
+        fresh.select(names=["nope"])
+
+
+def test_discover_missing_package_is_zero(fresh):
+    assert fresh.discover("no_such_package_xyz") == 0
+
+
+def test_discover_finds_the_real_suite():
+    # Uses the real registry: importing benchmarks.* registers there.
+    modules = reg.discover()
+    assert modules >= 14
+    names = set(reg.registered())
+    assert {
+        "figure1", "figure2", "figure3", "figure4", "figure5",
+        "lvn", "events", "diagnostics", "pi_sweep", "opt_sweep",
+        "scalability", "vm", "licm_runtime", "session_cache",
+        "trace_overhead",
+    } <= names
+    assert len(names) >= 15
+    fast = {b.name for b in reg.select(group="fast")}
+    assert "figure2" in fast and "trace_overhead" not in fast
+    # Timing-sensitive benchmarks opt out of the traced work pass.
+    assert not reg.registered()["trace_overhead"].profile
+    assert not reg.registered()["session_cache"].profile

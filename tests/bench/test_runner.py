@@ -1,0 +1,106 @@
+"""Runner semantics: stats, repeat caps, traced work pass, errors."""
+
+from repro.bench.registry import Benchmark
+from repro.bench.runner import (
+    RECORD_SCHEMA,
+    run_benchmark,
+    run_suite,
+    wall_stats,
+)
+from repro.obs.prof import record_work
+
+
+class TestWallStats:
+    def test_empty(self):
+        s = wall_stats([])
+        assert s["repeats"] == 0 and s["median_ms"] == 0.0
+
+    def test_median_and_min(self):
+        s = wall_stats([0.003, 0.001, 0.002])
+        assert s["repeats"] == 3
+        assert s["median_ms"] == 2.0
+        assert s["min_ms"] == 1.0 and s["max_ms"] == 3.0
+        assert s["iqr_ms"] == 2.0  # spread fallback below 4 samples
+
+    def test_iqr_with_enough_samples(self):
+        s = wall_stats([i / 1e3 for i in (1, 2, 3, 4, 5, 6, 7, 8)])
+        assert s["repeats"] == 8
+        assert 0 < s["iqr_ms"] < s["max_ms"] - s["min_ms"] + 1e-9
+
+
+def _bench(fn, **kwargs):
+    defaults = dict(name="t", group="fast", fn=fn)
+    defaults.update(kwargs)
+    return Benchmark(**defaults)
+
+
+def test_run_benchmark_counts_calls():
+    calls = []
+
+    def fn():
+        calls.append(1)
+        return {"ok": True}
+
+    result = run_benchmark(_bench(fn), repeat=3, warmup=1)
+    # 1 warmup + 3 timed + 1 traced work pass
+    assert len(calls) == 5
+    assert result.ok and result.payload == {"ok": True}
+    assert result.wall["repeats"] == 3
+
+
+def test_repeat_cap_and_no_warmup_for_single_shot():
+    calls = []
+
+    def fn():
+        calls.append(1)
+
+    run_benchmark(_bench(fn, repeat=1, profile=False), repeat=5, warmup=2)
+    assert len(calls) == 1  # cap wins; single-shot skips warmup
+
+
+def test_traced_pass_collects_work_counters():
+    def fn():
+        record_work("toy", visits=7)
+        return None
+
+    result = run_benchmark(_bench(fn), repeat=1)
+    assert result.counters == {"work.toy.visits": 7}
+
+
+def test_profile_false_skips_counters():
+    def fn():
+        record_work("toy", visits=7)
+
+    result = run_benchmark(_bench(fn, profile=False), repeat=1)
+    assert result.counters == {}
+
+
+def test_error_is_captured_not_raised():
+    def fn():
+        raise RuntimeError("boom")
+
+    result = run_benchmark(_bench(fn), repeat=2)
+    assert not result.ok
+    assert "boom" in result.error
+    assert result.as_dict()["error"] == result.error
+
+
+def test_unserializable_payload_degrades_to_repr():
+    def fn():
+        return object()
+
+    result = run_benchmark(_bench(fn, profile=False), repeat=1)
+    assert isinstance(result.as_dict()["payload"], str)
+
+
+def test_run_suite_record_shape():
+    record = run_suite(
+        [_bench(lambda: {"x": 1}, name="a", profile=False)],
+        repeat=2,
+        group="fast",
+    )
+    assert record["schema"] == RECORD_SCHEMA
+    assert record["group"] == "fast"
+    assert record["env"]["python"] and record["env"]["cpu_count"] >= 1
+    assert record["results"]["a"]["wall"]["repeats"] == 2
+    assert record["results"]["a"]["error"] is None

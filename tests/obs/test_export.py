@@ -7,6 +7,7 @@ import pytest
 from repro.api import optimize_source
 from repro.obs.export import (
     export_chrome,
+    export_collapsed,
     export_jsonl,
     load_jsonl,
     render_text,
@@ -104,6 +105,47 @@ class TestText:
     def test_empty_tracer_renders(self):
         text = render_text(Tracer())
         assert "(none)" in text
+
+
+class TestFlame:
+    def test_collapsed_stack_syntax(self, traced):
+        lines = export_collapsed(traced).strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert stack
+            assert int(weight) >= 0  # integer microseconds of self time
+            assert " ;" not in stack and "; " not in stack
+
+    def test_nesting_preserved(self, traced):
+        text = export_collapsed(traced)
+        # passes run inside the optimize span inside the session stage
+        assert "optimize;pass:constprop" in text
+        assert "build-cssame;cssa" in text
+
+    def test_self_time_sums_to_inclusive_roots(self, traced):
+        total_self = sum(
+            int(line.rsplit(" ", 1)[1])
+            for line in export_collapsed(traced).strip().splitlines()
+        )
+        root_depth = min(span.depth for span in traced.spans())
+        root_inclusive = sum(
+            span.duration * 1e6
+            for span in traced.spans()
+            if span.depth == root_depth
+        )
+        # flooring to whole microseconds loses <1us per span
+        assert abs(total_self - root_inclusive) <= len(traced.spans())
+
+    def test_write_trace_flame(self, traced, tmp_path):
+        path = tmp_path / "trace.flame"
+        write_trace(traced, str(path), "flame")
+        content = path.read_text()
+        assert content.endswith("\n")
+        assert ";" in content
+
+    def test_empty_tracer_collapses_to_nothing(self):
+        assert export_collapsed(Tracer()) == ""
 
 
 def test_unknown_format_rejected(traced, tmp_path):
