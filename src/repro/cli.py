@@ -12,8 +12,14 @@ Commands
 ``optimize``  run the Section 5 pipeline and print the optimized
               program (``--phases`` shows every intermediate listing).
 ``diagnose``  print Section 6 warnings and potential data races.
-``run``       execute under the interleaving VM (``--seed``).
+``run``       execute under the interleaving VM (``--seed``; ``--json``
+              adds per-lock contention counters and timeline summary).
 ``explore``   enumerate every schedule and print the outcome set.
+``audit``     sample N seeded schedules under the happens-before
+              tracker, optionally explore, and cross-validate dynamic
+              races against the Section 6 lockset report (confirmed /
+              unconfirmed / dynamic-only; ``--strict`` gates on
+              confirmed races).
 ``dot``       print a Graphviz rendering of the PFG.
 ``stats``     run the pipeline under a tracer and print the per-pass
               timing/decision/metrics tables.
@@ -36,8 +42,10 @@ Exit-code contract
 
 * ``0`` — success (for ``diagnose``: no findings, or ``--no-strict``).
 * ``1`` — ``diagnose`` found warnings/races under ``--strict`` (the
-  default), ``witness`` found no matching schedule, or ``bench``
-  detected a regression (``--check``) or a failing benchmark.
+  default), ``witness`` found no matching schedule, ``bench``
+  detected a regression (``--check``) or a failing benchmark, or
+  ``audit`` found a dynamic-only race (always — a soundness failure)
+  or, under ``--strict``, a confirmed race.
 * ``2`` — the executed/explored program can deadlock.
 * ``3`` — usage or input error (parse error, missing file, ...).
 
@@ -124,18 +132,60 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     return 1 if args.strict else 0
 
 
+def _print_events(execution) -> None:
+    """Render an execution's observable events, one per line.
+
+    Shared by ``run`` and ``witness`` so a replayed schedule reads
+    exactly like a live run.
+    """
+    for event in execution.events:
+        if event[0] == "print":
+            print(" ".join(str(v) for v in event[1]))
+        else:
+            print(f"call {event[1]}({', '.join(str(v) for v in event[2])})")
+
+
+def _execution_as_dict(execution) -> dict:
+    """The ``run --json`` document: events + per-lock contention."""
+    from repro.report import lock_timeline_summary
+
+    timeline = lock_timeline_summary(execution)
+    locks: dict[str, dict] = {}
+    for lock in sorted(
+        set(execution.lock_held_steps)
+        | set(execution.lock_blocked_steps)
+        | set(execution.lock_acquisitions)
+        | set(timeline)
+    ):
+        locks[lock] = {
+            "held_steps": execution.lock_held_steps.get(lock, 0),
+            "blocked_steps": execution.lock_blocked_steps.get(lock, 0),
+            "acquisitions": execution.lock_acquisitions.get(lock, 0),
+            **timeline.get(lock, {}),
+        }
+    return {
+        "events": [list(e) for e in execution.events],
+        "steps": execution.steps,
+        "deadlocked": execution.deadlocked,
+        "memory": dict(sorted(execution.memory.items())),
+        "locks": locks,
+        "lock_intervals": list(execution.lock_intervals),
+    }
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    import json
+
     program = front_end(_read_source(args.file))
     if args.optimize:
         optimize(program)
     execution = run_random(
         program, seed=args.seed, fuel=args.fuel, raise_on_deadlock=False
     )
-    for event in execution.events:
-        if event[0] == "print":
-            print(" ".join(str(v) for v in event[1]))
-        else:
-            print(f"call {event[1]}({', '.join(str(v) for v in event[2])})")
+    if args.json:
+        print(json.dumps(_execution_as_dict(execution), indent=2, sort_keys=True))
+        return 2 if execution.deadlocked else 0
+    _print_events(execution)
     if execution.deadlocked:
         print("DEADLOCK", file=sys.stderr)
         return 2
@@ -457,9 +507,84 @@ def _cmd_witness(args: argparse.Namespace) -> int:
         return 1
     print("schedule (thread ids in step order):")
     print("  " + " ".join("main" if t == () else ".".join(map(str, t)) for t in schedule))
+    # The replay runs under the ambient tracer (``main`` installs it for
+    # --trace), so the replayed schedule leaves the same vm-step /
+    # lock-event trail a live run would.
     execution = VirtualMachine(front_end(_read_source(args.file))).replay(schedule)
-    print(f"replayed: events={execution.events} deadlocked={execution.deadlocked}")
+    print("replayed:")
+    _print_events(execution)
+    if execution.deadlocked:
+        print("DEADLOCK", file=sys.stderr)
     return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    """Static ↔ dynamic race cross-validation (``repro audit``)."""
+    import json
+
+    from repro.dynamic.audit import audit_source
+
+    report = audit_source(
+        _read_source(args.file),
+        runs=args.runs,
+        seed_base=args.seed_base,
+        fuel=args.fuel,
+        explore_states=args.max_states,
+        do_explore=args.explore,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return report.exit_code(strict=args.strict)
+
+    for finding in report.findings:
+        print(finding.message())
+    for race in report.dynamic_only:
+        print(f"DYNAMIC-ONLY (static analysis missed this!): {race.message()}")
+    if not report.findings and not report.dynamic_only:
+        print("no races, static or dynamic")
+
+    cov = report.coverage.as_dict()
+    print()
+    _print_table(
+        "schedule coverage",
+        ["metric", "value"],
+        [
+            ("runs sampled", cov["runs"]),
+            ("deadlocked runs", cov["deadlock_runs"]),
+            ("sampled outcome classes", cov["sampled_outcome_classes"]),
+            (
+                "explored outcome classes",
+                cov["explored_outcome_classes"]
+                if cov["explored_outcome_classes"] is not None
+                else "(exploration off)",
+            ),
+            (
+                "outcome coverage",
+                f"{cov['outcome_coverage']:.0%}"
+                if cov["outcome_coverage"] is not None
+                else "-",
+            ),
+            ("conflict pairs observed", cov["conflict_pairs"]),
+            (
+                "ordering coverage",
+                f"{cov['ordering_coverage']:.0%}"
+                if cov["ordering_coverage"] is not None
+                else "-",
+            ),
+            (
+                "conflict-var coverage",
+                f"{cov['conflict_var_coverage']:.0%}"
+                if cov["conflict_var_coverage"] is not None
+                else "-",
+            ),
+        ],
+    )
+    print(
+        f"// {len(report.confirmed)} confirmed, "
+        f"{len(report.unconfirmed)} unconfirmed, "
+        f"{len(report.dynamic_only)} dynamic-only"
+    )
+    return report.exit_code(strict=args.strict)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -519,6 +644,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fuel", type=int, default=1_000_000)
     p.add_argument("--optimize", action="store_true")
     p.add_argument("--stats", action="store_true")
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the execution as JSON (events, steps, per-lock "
+             "held/blocked counters and contention timeline)",
+    )
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser(
@@ -577,6 +707,41 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="find a deadlocking schedule instead")
     p.add_argument("--max-states", type=int, default=200_000)
     p.set_defaults(func=_cmd_witness)
+
+    p = sub.add_parser(
+        "audit",
+        help="cross-validate static races against traced schedules",
+        parents=[tracing],
+    )
+    p.add_argument("file")
+    p.add_argument(
+        "--runs", type=int, default=16, metavar="N",
+        help="seeded schedules to sample (default: 16)",
+    )
+    p.add_argument(
+        "--seed-base", type=int, default=0,
+        help="first seed; runs use seed_base..seed_base+N-1 (default: 0)",
+    )
+    p.add_argument("--fuel", type=int, default=1_000_000)
+    p.add_argument(
+        "--explore", action=argparse.BooleanOptionalAction, default=True,
+        help="also run bounded exhaustive exploration as the coverage "
+             "yardstick (default; --no-explore skips it)",
+    )
+    p.add_argument(
+        "--max-states", type=int, default=20_000,
+        help="state budget for --explore (default: 20000)",
+    )
+    p.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 on confirmed races too (dynamic-only soundness "
+             "failures always exit 1)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the full audit report as JSON",
+    )
+    p.set_defaults(func=_cmd_audit)
 
     p = sub.add_parser(
         "stats",

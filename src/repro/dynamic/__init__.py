@@ -1,0 +1,32 @@
+"""Dynamic concurrency analysis — the runtime half of the observatory.
+
+The static side of this repository (CSSAME, locksets, Section 6
+diagnostics) reasons about *every* execution; this package observes
+*actual* executions and checks the two against each other:
+
+* :mod:`repro.dynamic.hb` — per-thread **vector clocks** maintained by
+  the interleaving VM, advanced on every step and merged across the
+  paper's ordering mechanisms (lock release→acquire, ``set``→``wait``,
+  ``cobegin``/``coend`` fork–join, barriers), plus the online
+  happens-before **race detector** with replayable witness schedules;
+* :mod:`repro.dynamic.coverage` — schedule-coverage metrics: outcome
+  classes sampled vs. explored, conflicting-statement orderings
+  exercised;
+* :mod:`repro.dynamic.audit` — the ``repro audit`` driver: N seeded
+  runs + optional bounded exploration, cross-validated against the
+  static :func:`repro.mutex.races.detect_races` report.
+"""
+
+from repro.dynamic.audit import AuditReport, audit_program, audit_source
+from repro.dynamic.coverage import ScheduleCoverage
+from repro.dynamic.hb import DynamicRace, HBTracker, VectorClock
+
+__all__ = [
+    "AuditReport",
+    "DynamicRace",
+    "HBTracker",
+    "ScheduleCoverage",
+    "VectorClock",
+    "audit_program",
+    "audit_source",
+]

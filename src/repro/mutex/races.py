@@ -54,6 +54,23 @@ class RaceReport:
             f"B{self.block_b} holds {set(self.locks_b) or '{}'} (no common lock)"
         )
 
+    def key(self) -> tuple:
+        """Stable identity (variable, ordered blocks, kind) — what the
+        dynamic audit joins dynamic findings against."""
+        a, b = sorted((self.block_a, self.block_b))
+        return (self.var, a, b, self.kind)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (``repro audit --json``)."""
+        return {
+            "var": self.var,
+            "block_a": self.block_a,
+            "block_b": self.block_b,
+            "kind": self.kind,
+            "locks_a": sorted(self.locks_a),
+            "locks_b": sorted(self.locks_b),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"RaceReport({self.message()})"
 

@@ -20,9 +20,13 @@ from typing import Optional
 
 __all__ = [
     "ContextSwitch",
+    "DynamicRaceObserved",
     "Event",
+    "HappensBeforeEdge",
     "LockAcquire",
+    "LockBlockedInterval",
     "LockContention",
+    "LockHeldInterval",
     "LockRelease",
     "MutexBodyDiscovered",
     "PassEnd",
@@ -270,4 +274,137 @@ class LockContention(Event):
             "lock": self.lock,
             "tid": tid_str(self.tid),
             "owner": tid_str(self.owner),
+        }
+
+
+class LockHeldInterval(Event):
+    """One closed hold of a lock: acquire step → release step.
+
+    Emitted when the hold *closes* (at the unlock, or flushed with
+    ``open=True`` at run end when the run finished with the lock still
+    held, e.g. across a deadlock).  ``from_step``/``to_step`` are
+    global-step numbers; exporters with a duration notion (chrome)
+    render these as complete events on a per-lock track.
+    """
+
+    kind = "lock-held-interval"
+    __slots__ = ("lock", "tid", "from_step", "to_step", "open")
+
+    def __init__(
+        self, lock: str, tid: tuple, from_step: int, to_step: int, open: bool = False
+    ) -> None:
+        super().__init__()
+        self.lock = lock
+        self.tid = tid
+        self.from_step = from_step
+        self.to_step = to_step
+        self.open = open
+
+    def payload(self) -> dict:
+        return {
+            "lock": self.lock,
+            "tid": tid_str(self.tid),
+            "from_step": self.from_step,
+            "to_step": self.to_step,
+            "open": self.open,
+        }
+
+
+class LockBlockedInterval(Event):
+    """One contiguous interval a thread spent blocked on a lock.
+
+    Closes when the blocked thread finally acquires (or at run end,
+    flushed with ``open=True`` — the deadlock signature)."""
+
+    kind = "lock-blocked-interval"
+    __slots__ = ("lock", "tid", "from_step", "to_step", "open")
+
+    def __init__(
+        self, lock: str, tid: tuple, from_step: int, to_step: int, open: bool = False
+    ) -> None:
+        super().__init__()
+        self.lock = lock
+        self.tid = tid
+        self.from_step = from_step
+        self.to_step = to_step
+        self.open = open
+
+    def payload(self) -> dict:
+        return {
+            "lock": self.lock,
+            "tid": tid_str(self.tid),
+            "from_step": self.from_step,
+            "to_step": self.to_step,
+            "open": self.open,
+        }
+
+
+class HappensBeforeEdge(Event):
+    """One cross-thread ordering edge observed by the happens-before
+    tracker — the dynamic counterpart of the paper's synchronization
+    edges.  ``mechanism`` is one of ``release-acquire`` (per lock),
+    ``set-wait`` (per event), ``fork``/``join`` (cobegin/coend), or
+    ``barrier``; ``name`` is the lock/event/barrier involved (empty for
+    fork/join)."""
+
+    kind = "hb-edge"
+    __slots__ = ("step", "mechanism", "src_tid", "dst_tid", "name")
+
+    def __init__(
+        self, step: int, mechanism: str, src_tid: tuple, dst_tid: tuple, name: str = ""
+    ) -> None:
+        super().__init__()
+        self.step = step
+        self.mechanism = mechanism
+        self.src_tid = src_tid
+        self.dst_tid = dst_tid
+        self.name = name
+
+    def payload(self) -> dict:
+        return {
+            "step": self.step,
+            "mechanism": self.mechanism,
+            "src": tid_str(self.src_tid),
+            "dst": tid_str(self.dst_tid),
+            "name": self.name,
+        }
+
+
+class DynamicRaceObserved(Event):
+    """The online detector found two conflicting accesses with
+    incomparable vector clocks.  ``step`` is the global step of the
+    *second* access (the detection point); the replayable witness lives
+    on the :class:`repro.dynamic.hb.DynamicRace` record, not here."""
+
+    kind = "dynamic-race"
+    __slots__ = ("step", "var", "race_kind", "tid_a", "pc_a", "tid_b", "pc_b")
+
+    def __init__(
+        self,
+        step: int,
+        var: str,
+        race_kind: str,
+        tid_a: tuple,
+        pc_a: int,
+        tid_b: tuple,
+        pc_b: int,
+    ) -> None:
+        super().__init__()
+        self.step = step
+        self.var = var
+        self.race_kind = race_kind
+        self.tid_a = tid_a
+        self.pc_a = pc_a
+        self.tid_b = tid_b
+        self.pc_b = pc_b
+
+    def payload(self) -> dict:
+        return {
+            "step": self.step,
+            "var": self.var,
+            "race_kind": self.race_kind,
+            "tid_a": tid_str(self.tid_a),
+            "pc_a": self.pc_a,
+            "tid_b": tid_str(self.tid_b),
+            "pc_b": self.pc_b,
         }

@@ -83,6 +83,7 @@ def export_chrome(tracer: AnyTracer) -> dict:
             "args": {"name": "repro (CSSAME stack)"},
         }
     ]
+    lock_tracks: dict[str, int] = {}  # lock name → pid-2 track id
     for record in tracer.records:
         if isinstance(record, Span):
             end = record.end if record.end is not None else record.start
@@ -96,6 +97,47 @@ def export_chrome(tracer: AnyTracer) -> dict:
                     "pid": 1,
                     "tid": 1,
                     "args": dict(record.attrs),
+                }
+            )
+        elif record.kind in ("lock-held-interval", "lock-blocked-interval"):
+            # Step-interval events render as complete events on a
+            # synthetic "VM locks" process (pid 2), one track per lock,
+            # with global VM steps as the time unit — the per-lock
+            # contention timeline, visible next to the wall-time spans.
+            payload = record.payload()
+            lock = payload["lock"]
+            if lock not in lock_tracks:
+                if not lock_tracks:
+                    trace_events.append(
+                        {
+                            "name": "process_name",
+                            "ph": "M",
+                            "pid": 2,
+                            "tid": 0,
+                            "args": {"name": "VM locks (unit: steps)"},
+                        }
+                    )
+                lock_tracks[lock] = len(lock_tracks) + 1
+                trace_events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": 2,
+                        "tid": lock_tracks[lock],
+                        "args": {"name": f"lock {lock}"},
+                    }
+                )
+            tid = lock_tracks[lock]
+            trace_events.append(
+                {
+                    "name": f"{lock} {record.kind.split('-')[1]} ({payload['tid']})",
+                    "cat": "vm-lock",
+                    "ph": "X",
+                    "ts": float(payload["from_step"]),
+                    "dur": float(payload["to_step"] - payload["from_step"]),
+                    "pid": 2,
+                    "tid": tid,
+                    "args": payload,
                 }
             )
         else:

@@ -23,6 +23,7 @@ __all__ = [
     "critical_section_profile",
     "critical_section_profile_from_trace",
     "lock_profile_from_events",
+    "lock_timeline_summary",
     "measure_form",
     "pfg_inventory",
 ]
@@ -155,6 +156,40 @@ def lock_profile_from_events(
         if extra:  # the VM never materializes zero-valued entries
             held[lock] = held.get(lock, 0) + extra
     return {"held": held, "blocked": blocked, "acquisitions": acquisitions}
+
+
+def lock_timeline_summary(execution) -> dict[str, dict]:
+    """Per-lock contention timeline summary of one execution.
+
+    Condenses ``Execution.lock_intervals`` into one row per lock: how
+    many held/blocked intervals occurred, the longest of each (in
+    global VM steps), and whether any interval was still open when the
+    run ended — an open *held* interval past the final step is the
+    deadlock signature.  The full interval list stays available on the
+    execution for timeline rendering (``--trace-format chrome``).
+    """
+    summary: dict[str, dict] = {}
+    for interval in execution.lock_intervals:
+        row = summary.setdefault(
+            interval["lock"],
+            {
+                "held_intervals": 0,
+                "blocked_intervals": 0,
+                "longest_held": 0,
+                "longest_blocked": 0,
+                "open": False,
+            },
+        )
+        length = interval["to"] - interval["from"]
+        if interval["kind"] == "held":
+            row["held_intervals"] += 1
+            row["longest_held"] = max(row["longest_held"], length)
+        else:
+            row["blocked_intervals"] += 1
+            row["longest_blocked"] = max(row["longest_blocked"], length)
+        if interval.get("open"):
+            row["open"] = True
+    return summary
 
 
 def critical_section_profile_from_trace(

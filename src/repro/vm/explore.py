@@ -21,7 +21,7 @@ part of the state (outcomes are composed from memoized suffixes).
 from __future__ import annotations
 
 import sys
-from typing import Callable, Optional, Union
+from typing import Callable, Iterable, Optional, Union
 
 from repro.errors import VMError
 from repro.ir.structured import ProgramIR
@@ -64,6 +64,30 @@ class ExplorationResult:
             tuple(e for e in o if e[0] in ("print", "deadlock", "error", "livelock"))
             for o in self.outcomes
         )
+
+    @property
+    def print_classes(self) -> int:
+        """Number of distinct print-level outcome classes — the paper's
+        observable-behaviour count (what sampled schedules are measured
+        against in :mod:`repro.dynamic.coverage`)."""
+        return len(self.print_outcomes())
+
+    def coverage_of(self, sampled: Iterable[tuple]) -> dict:
+        """Schedule-coverage summary of ``sampled`` outcome keys (from
+        ``Execution.output_key()``) against this exhaustive result."""
+        seen = set(sampled)
+        hit = seen & self.outcomes
+        return {
+            "states": self.states,
+            "complete": self.complete,
+            "outcome_classes": len(self.outcomes),
+            "print_classes": self.print_classes,
+            "sampled_classes": len(seen),
+            "sampled_hit": len(hit),
+            "outcome_coverage": (
+                round(len(hit) / len(self.outcomes), 4) if self.outcomes else None
+            ),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover
         return (
@@ -341,9 +365,11 @@ def explore(
             )
     finally:
         sys.setrecursionlimit(old_limit)
+    result = ExplorationResult(
+        outcomes, states=len(explorer.memo), complete=not explorer.truncated
+    )
     if tracer.enabled:
         tracer.counter("explore.states").inc(len(explorer.memo))
         tracer.counter("explore.outcomes").inc(len(outcomes))
-    return ExplorationResult(
-        outcomes, states=len(explorer.memo), complete=not explorer.truncated
-    )
+        tracer.counter("explore.print_classes").inc(result.print_classes)
+    return result

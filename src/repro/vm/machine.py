@@ -29,7 +29,9 @@ from repro.ir.structured import ProgramIR
 from repro.obs.events import (
     ContextSwitch,
     LockAcquire,
+    LockBlockedInterval,
     LockContention,
+    LockHeldInterval,
     LockRelease,
     VMStep,
 )
@@ -78,6 +80,11 @@ class Execution:
         self.lock_blocked_steps: dict[str, int] = {}
         #: lock name → number of successful acquisitions
         self.lock_acquisitions: dict[str, int] = {}
+        #: per-lock contention timeline: dicts with ``kind`` ("held" |
+        #: "blocked"), ``lock``, ``tid`` (spawn-path tuple), ``from``/
+        #: ``to`` global steps, and ``open`` (True when the interval was
+        #: still running at run end — the deadlock signature)
+        self.lock_intervals: list[dict] = []
         #: final shared memory
         self.memory: dict[str, int] = {}
 
@@ -103,6 +110,7 @@ class VirtualMachine:
         seed: int = 0,
         functions: Optional[Callable[[str, list[int]], int]] = None,
         fuel: int = 1_000_000,
+        hb: Optional[object] = None,
     ) -> None:
         if isinstance(program, ProgramIR):
             program = compile_program(program)
@@ -121,8 +129,12 @@ class VirtualMachine:
         #: the tracer in effect at construction time; with the default
         #: no-op tracer every hook below is one attribute read + branch
         self.tracer = get_tracer()
+        #: optional happens-before tracker (repro.dynamic.hb.HBTracker);
+        #: None keeps the default path at one attribute read + branch
+        self.hb = hb
         self._last_tid: Optional[tuple] = None
         self._acquired_at: dict[str, int] = {}  # lock → step of acquisition
+        self._blocked_since: dict[tuple, int] = {}  # (lock, tid) → step
 
     # -- expression evaluation ----------------------------------------------
 
@@ -170,7 +182,41 @@ class VirtualMachine:
             self._step(thread)
             ex.steps += 1
         ex.memory = dict(self.memory)
+        self._flush_intervals()
         return ex
+
+    def _flush_intervals(self) -> None:
+        """Close still-open hold/blocked intervals at run end.
+
+        An interval open at termination (a lock held across a deadlock,
+        a thread still blocked) is recorded with ``open=True`` so the
+        timeline stays a complete account of the run.
+        """
+        steps = self.execution.steps
+        for lock, since in sorted(self._acquired_at.items()):
+            self.execution.lock_intervals.append(
+                {
+                    "kind": "held",
+                    "lock": lock,
+                    "tid": self.locks.get(lock, ()),
+                    "from": since,
+                    "to": steps,
+                    "open": True,
+                }
+            )
+        self._acquired_at.clear()
+        for (lock, tid), since in sorted(self._blocked_since.items()):
+            self.execution.lock_intervals.append(
+                {
+                    "kind": "blocked",
+                    "lock": lock,
+                    "tid": tid,
+                    "from": since,
+                    "to": steps,
+                    "open": True,
+                }
+            )
+        self._blocked_since.clear()
 
     def _account_lock_time(self, alive: list[_Thread]) -> None:
         ex = self.execution
@@ -185,6 +231,7 @@ class VirtualMachine:
                 ex.lock_blocked_steps[instr.name] = (
                     ex.lock_blocked_steps.get(instr.name, 0) + 1
                 )
+                self._blocked_since.setdefault((instr.name, t.tid), ex.steps)
                 if tracer.enabled:
                     tracer.event(
                         LockContention(
@@ -199,6 +246,8 @@ class VirtualMachine:
         instr = self.program.instrs[thread.pc]
         op = instr.op
         tracer = self.tracer
+        if self.hb is not None:
+            self.hb.on_step(thread.tid, thread.pc, instr)
         if tracer.enabled:
             steps = self.execution.steps
             if self._last_tid is not None and self._last_tid != thread.tid:
@@ -226,10 +275,28 @@ class VirtualMachine:
             ex.lock_acquisitions[instr.name] = (
                 ex.lock_acquisitions.get(instr.name, 0) + 1
             )
+            self._acquired_at[instr.name] = ex.steps
+            blocked_since = self._blocked_since.pop((instr.name, thread.tid), None)
+            if blocked_since is not None:
+                ex.lock_intervals.append(
+                    {
+                        "kind": "blocked",
+                        "lock": instr.name,
+                        "tid": thread.tid,
+                        "from": blocked_since,
+                        "to": ex.steps,
+                        "open": False,
+                    }
+                )
             if tracer.enabled:
-                self._acquired_at[instr.name] = ex.steps
                 tracer.event(LockAcquire(ex.steps, instr.name, thread.tid))
                 tracer.counter(f"vm.lock_acquisitions.{instr.name}").inc()
+                if blocked_since is not None:
+                    tracer.event(
+                        LockBlockedInterval(
+                            instr.name, thread.tid, blocked_since, ex.steps
+                        )
+                    )
             thread.pc += 1
         elif op is Op.UNLOCK:
             owner = self.locks.get(instr.name)
@@ -238,10 +305,23 @@ class VirtualMachine:
                     f"unlock({instr.name}) by {thread.tid} but owner is {owner}"
                 )
             del self.locks[instr.name]
+            ex = self.execution
+            acquired_at = self._acquired_at.pop(instr.name, 0)
+            ex.lock_intervals.append(
+                {
+                    "kind": "held",
+                    "lock": instr.name,
+                    "tid": thread.tid,
+                    "from": acquired_at,
+                    "to": ex.steps,
+                    "open": False,
+                }
+            )
             if tracer.enabled:
-                held = self.execution.steps - self._acquired_at.pop(instr.name, 0)
+                held = ex.steps - acquired_at
+                tracer.event(LockRelease(ex.steps, instr.name, thread.tid, held))
                 tracer.event(
-                    LockRelease(self.execution.steps, instr.name, thread.tid, held)
+                    LockHeldInterval(instr.name, thread.tid, acquired_at, ex.steps)
                 )
                 tracer.histogram(f"vm.lock_hold_steps.{instr.name}").observe(held)
             thread.pc += 1
@@ -264,6 +344,10 @@ class VirtualMachine:
                     other.status = "run"
                     other.pc += 1
                 thread.pc += 1
+                if self.hb is not None:
+                    self.hb.on_barrier_release(
+                        instr.name, [t.tid for t in waiting] + [thread.tid]
+                    )
             else:
                 thread.status = "barrier"
         elif op is Op.JUMP:
@@ -280,12 +364,18 @@ class VirtualMachine:
             for i, entry in enumerate(instr.entries):
                 child = _Thread(thread.tid + (i,), entry)
                 self.threads[child.tid] = child
+            if self.hb is not None:
+                self.hb.on_spawn(
+                    thread.tid, tuple(thread.tid + (i,) for i in range(len(instr.entries)))
+                )
         elif op is Op.END_THREAD:
             thread.status = "done"
             parent = self.threads[thread.tid[:-1]]
             parent.pending -= 1
             if parent.pending == 0:
                 parent.status = "run"
+            if self.hb is not None:
+                self.hb.on_thread_end(thread.tid, parent.tid)
         elif op is Op.HALT:
             thread.status = "done"
         else:  # pragma: no cover - defensive
@@ -314,6 +404,7 @@ class VirtualMachine:
         ex.deadlocked = bool(self._alive()) and not any(
             self._is_runnable(t) for t in self._alive()
         )
+        self._flush_intervals()
         return ex
 
 
@@ -323,7 +414,12 @@ def run_random(
     functions: Optional[Callable[[str, list[int]], int]] = None,
     fuel: int = 1_000_000,
     raise_on_deadlock: bool = True,
+    hb: Optional[object] = None,
 ) -> Execution:
-    """Compile (if needed) and run once under the given seed."""
-    vm = VirtualMachine(program, seed=seed, functions=functions, fuel=fuel)
+    """Compile (if needed) and run once under the given seed.
+
+    ``hb`` attaches a :class:`repro.dynamic.hb.HBTracker` for
+    happens-before tracking and online race detection.
+    """
+    vm = VirtualMachine(program, seed=seed, functions=functions, fuel=fuel, hb=hb)
     return vm.run(raise_on_deadlock=raise_on_deadlock)

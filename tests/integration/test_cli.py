@@ -120,9 +120,10 @@ class TestWitness:
             """
         )
         assert main(["witness", str(path), "1"]) == 0
-        out = capsys.readouterr().out
-        assert "schedule (thread ids in step order):" in out
-        assert "deadlocked=False" in out
+        captured = capsys.readouterr()
+        assert "schedule (thread ids in step order):" in captured.out
+        assert "replayed:\n1\n" in captured.out  # the lost update, replayed
+        assert "DEADLOCK" not in captured.err
 
     def test_witness_deadlock(self, tmp_path, capsys):
         path = tmp_path / "dead.par"
@@ -135,7 +136,9 @@ class TestWitness:
             """
         )
         assert main(["witness", "--deadlock", str(path)]) == 0
-        assert "deadlocked=True" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "replayed:" in captured.out
+        assert "DEADLOCK" in captured.err
 
     def test_witness_impossible(self, fig2_file, capsys):
         assert main(["witness", fig2_file, "999"]) == 1

@@ -1,0 +1,117 @@
+"""Property tests: the dynamic happens-before detector vs the static
+lockset analysis and the exhaustive explorer, on generated programs.
+
+The load-bearing invariant is *soundness containment*: the static
+report is a may-analysis, so every variable the dynamic detector flags
+must also appear in the static report.  (The converse is false — a
+static race can be infeasible or involve only observable-event
+arguments — and a *singleton print outcome* does not imply race
+freedom either: two atomic ``x = x + 1`` statements race while always
+printing 2.  The explorer-consistency property is therefore stated on
+``race_free`` generated programs.)
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfg.builder import build_flow_graph
+from repro.dynamic import HBTracker
+from repro.mutex.identify import identify_mutex_structures
+from repro.mutex.races import detect_races
+from repro.synth import GeneratorConfig, generate_program
+from repro.vm.compile import compile_program
+from repro.vm.explore import explore
+from repro.vm.machine import VirtualMachine
+
+_configs = st.builds(
+    GeneratorConfig,
+    seed=st.integers(0, 5_000),
+    n_threads=st.integers(1, 3),
+    stmts_per_thread=st.integers(1, 4),
+    n_shared=st.integers(1, 2),
+    n_locks=st.integers(0, 2),
+    p_if=st.floats(0.0, 0.3),
+    p_critical=st.floats(0.0, 0.8),
+)
+
+
+def _dynamic_race_vars(program, seeds=range(8)) -> set[str]:
+    compiled = compile_program(program)
+    vars_seen: set[str] = set()
+    for seed in seeds:
+        hb = HBTracker(compiled)
+        VirtualMachine(compiled, seed=seed, hb=hb).run(raise_on_deadlock=False)
+        vars_seen |= hb.race_vars()
+    return vars_seen
+
+
+@given(_configs)
+@settings(max_examples=20, deadline=None)
+def test_dynamic_races_subset_of_static(config):
+    """Soundness containment: dynamic ⊆ static, per variable — exactly
+    the invariant ``repro audit`` turns into a hard failure
+    (``dynamic_only``) when violated."""
+    program = generate_program(config)
+    graph = build_flow_graph(program)
+    static_vars = {
+        r.var for r in detect_races(graph, identify_mutex_structures(graph))
+    }
+    assert _dynamic_race_vars(program) <= static_vars
+
+
+@given(_configs)
+@settings(max_examples=15, deadline=None)
+def test_race_free_programs_have_no_dynamic_races(config):
+    """``race_free`` generation protects every shared access with a
+    per-variable lock: the detector must stay silent on every seed."""
+    config.race_free = True
+    config.n_locks = max(config.n_locks, 1)
+    program = generate_program(config)
+    assert _dynamic_race_vars(program, seeds=range(12)) == set()
+
+
+@given(_configs)
+@settings(max_examples=10, deadline=None)
+def test_clock_order_consistent_with_explorer(config):
+    """Vector-clock order is consistent with the explorer: on a
+    statically race-free program whose exhaustive outcome set is a
+    single print class, no sampled schedule may exhibit a dynamic
+    race (there is nothing unordered left to observe)."""
+    config.race_free = True
+    config.n_locks = max(config.n_locks, 1)
+    program = generate_program(config)
+    result = explore(program, max_states=50_000)
+    if not result.complete or result.print_classes != 1:
+        return
+    assert _dynamic_race_vars(program, seeds=range(12)) == set()
+
+
+@given(_configs, st.integers(0, 100))
+@settings(max_examples=15, deadline=None)
+def test_witness_replay_reproduces_every_race(config, seed):
+    """Every recorded witness, replayed on a fresh tracker, re-detects
+    the same race at the same program locations."""
+    program = generate_program(config)
+    compiled = compile_program(program)
+    hb = HBTracker(compiled)
+    VirtualMachine(compiled, seed=seed, hb=hb).run(raise_on_deadlock=False)
+    for race in hb.races:
+        fresh = HBTracker(compiled)
+        VirtualMachine(compiled, hb=fresh).replay(list(race.witness))
+        assert race.pair_key() in {r.pair_key() for r in fresh.races}
+
+
+@given(_configs, st.integers(0, 100))
+@settings(max_examples=15, deadline=None)
+def test_tracked_run_matches_untracked(config, seed):
+    """Attaching a tracker never perturbs execution: same events,
+    memory, and step count as the bare VM under the same seed."""
+    program = generate_program(config)
+    compiled = compile_program(program)
+    bare = VirtualMachine(compiled, seed=seed).run(raise_on_deadlock=False)
+    hb = HBTracker(compiled)
+    tracked = VirtualMachine(compiled, seed=seed, hb=hb).run(
+        raise_on_deadlock=False
+    )
+    assert tracked.events == bare.events
+    assert tracked.memory == bare.memory
+    assert tracked.steps == bare.steps
