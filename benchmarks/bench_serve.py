@@ -1,0 +1,180 @@
+"""SERVE — the compile service's performance claims, quantified.
+
+Two numbers justify ``repro.serve``'s existence:
+
+1. **The persistent store beats recomputation.**  A *store-warm*
+   request — a fresh process whose memory cache is empty but whose
+   disk store holds the artifacts — must be at least 2× faster than a
+   *cold* single-shot facade call that recomputes the whole stage
+   journey.  This is the restart story: a redeployed server answers
+   its first request from disk, not from the parser up.
+2. **The wire costs little.**  A warm request through a real TCP
+   round trip (client → server → worker pool → back) is measured
+   against the same warm request in-process; the overhead is reported
+   (and sanity-bounded, loosely — CI machines jitter).
+
+Emits ``BENCH_serve.json`` next to ``EXPERIMENTS.md``.
+"""
+
+import json
+import os
+import tempfile
+import threading
+from time import perf_counter
+
+from repro import api
+from repro.bench import register
+from repro.serve.client import ServeClient
+from repro.serve.server import CompileServer
+from repro.serve.store import PersistentStore
+from repro.session import Session
+
+from benchmarks.common import FIGURE_CORPUS, print_table
+
+BENCH_SERVE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_serve.json",
+)
+
+_REPEATS = 5
+#: the measured journey: every figure through diagnostics + optimized
+_STAGES = ("diagnostics", "optimized")
+
+
+def _best_of(fn, repeats: int = _REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = perf_counter()
+        fn()
+        best = min(best, perf_counter() - t0)
+    return best
+
+
+def _journey(session: Session) -> None:
+    for source in FIGURE_CORPUS.values():
+        for stage in _STAGES:
+            result = api.compile_source(source, stage, session=session)
+            assert result.stage == stage
+
+
+def measure_store(store_dir: str) -> dict:
+    """Cold recompute vs store-warm (fresh memory, warm disk)."""
+
+    def cold() -> None:
+        _journey(Session())
+
+    cold_s = _best_of(cold)
+
+    # Populate the store once, then measure with a fresh memory tier
+    # per run — exactly what a restarted server sees.
+    _journey(Session(cache=PersistentStore(store_dir)))
+
+    def store_warm() -> None:
+        _journey(Session(cache=PersistentStore(store_dir)))
+
+    warm_s = _best_of(store_warm)
+    return {
+        "cold_ms": round(cold_s * 1e3, 3),
+        "store_warm_ms": round(warm_s * 1e3, 3),
+        "speedup": round(cold_s / warm_s, 2),
+    }
+
+
+def measure_wire(store_dir: str) -> dict:
+    """Warm in-process vs warm over a real TCP round trip."""
+    server = CompileServer(port=0, store_dir=store_dir, jobs=2)
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=server.run, args=(lambda h, p: ready.set(),), daemon=True
+    )
+    thread.start()
+    assert ready.wait(timeout=15)
+    try:
+        with ServeClient(server.host, server.port, timeout=15.0) as client:
+            _journey_wire(client)  # warm the server's memory tier
+
+            def wire() -> None:
+                _journey_wire(client)
+
+            wire_s = _best_of(wire)
+            ops = client.ops()
+    finally:
+        server.request_drain_threadsafe()
+        thread.join(timeout=15)
+
+    warm_session = Session(cache=PersistentStore(store_dir))
+    _journey(warm_session)
+
+    def inproc() -> None:
+        _journey(warm_session)
+
+    inproc_s = _best_of(inproc)
+    requests = len(FIGURE_CORPUS) * len(_STAGES)
+    return {
+        "warm_inproc_ms": round(inproc_s * 1e3, 3),
+        "warm_wire_ms": round(wire_s * 1e3, 3),
+        "wire_overhead_ms_per_request": round(
+            (wire_s - inproc_s) * 1e3 / requests, 3
+        ),
+        "server_stage_p50_ms": {
+            stage: stats["p50_ms"] for stage, stats in ops["stages"].items()
+        },
+        "server_requests_ok": ops["requests"]["ok"],
+    }
+
+
+def _journey_wire(client: ServeClient) -> None:
+    for source in FIGURE_CORPUS.values():
+        for stage in _STAGES:
+            result = client.compile(source, stage)
+            assert result.stage == stage
+
+
+@register(
+    "serve",
+    group="fast",
+    repeat=1,
+    summary="compile service: store-warm vs cold latency, wire overhead",
+    emits=("BENCH_serve.json",),
+)
+def bench_serve() -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        store = measure_store(os.path.join(tmp, "store"))
+        wire = measure_wire(os.path.join(tmp, "store"))
+
+    # The acceptance bar: a store-warm request beats cold recompute 2×.
+    assert store["speedup"] >= 2.0, (
+        f"persistent store speedup {store['speedup']}x < 2x "
+        f"(cold {store['cold_ms']}ms, warm {store['store_warm_ms']}ms)"
+    )
+    assert wire["server_requests_ok"] >= 2 * len(FIGURE_CORPUS) * len(_STAGES)
+
+    payload = {"store": store, "wire": wire}
+    with open(BENCH_SERVE_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def main() -> None:
+    payload = bench_serve()
+    print_table(
+        "persistent store: cold vs store-warm (full figure journey)",
+        ["metric", "value"],
+        sorted(payload["store"].items()),
+    )
+    print()
+    print_table(
+        "wire overhead: warm in-process vs warm over TCP",
+        ["metric", "value"],
+        [
+            (k, v)
+            for k, v in sorted(payload["wire"].items())
+            if not isinstance(v, dict)
+        ],
+    )
+    print(f"\nwrote {BENCH_SERVE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,15 +25,15 @@ Quickstart::
     result = session.optimize(source_text)
     print(result.listing())
 
-The one-shot helpers remain supported as a facade over the session
-machinery::
+The one-shot facade returns typed, wire-ready results (the same
+payloads ``repro serve`` puts on the network)::
 
     from repro import api
-    result = api.optimize_source(source_text)
-    print(result.listing())
+    result = api.optimize(source_text)
+    print(result.listing)
 """
 
-__version__ = "1.1.0"
+from repro._version import __version__
 
 __all__ = ["api", "session", "__version__"]
 

@@ -1,59 +1,126 @@
-"""High-level one-call API — a thin facade over :mod:`repro.session`.
+"""High-level API — typed results over :mod:`repro.session`.
 
-These helpers keep the original one-shot signatures for the common
-journeys:
+The canonical surface is :func:`compile_source`: name a stage, get back
+a frozen typed result (:class:`~repro.results.CompileResult` /
+:class:`~repro.results.DiagnoseResult` /
+:class:`~repro.results.OptimizeResult`) whose ``as_dict()`` is exactly
+the wire payload the ``repro serve`` daemon returns for the same
+request.  Three stage-specific helpers wrap it::
 
-* :func:`front_end` — source text → structured IR;
-* :func:`analyze_source` — source → CSSAME (or plain CSSA) form;
-* :func:`optimize_source` — source → optimized program + report;
-* :func:`diagnose_source` — source → Section 6 warnings and race
-  reports;
-* :func:`pfg_dot` — source → DOT rendering of the PFG;
-* :func:`listing` — program → source-like listing.
-
-Since the :mod:`repro.session` redesign each call delegates to a
-:class:`~repro.session.session.Session` walking the pipeline stage
-graph.  By default every call gets an **ephemeral** session: results
-are bit-identical to the historical implementations, repeated calls
-recompute from scratch, and a traced call observes one full pipeline
-execution (the legacy observability contract).  Pass a long-lived
-session via the ``session=`` keyword — or use :class:`Session`
-directly, the canonical surface per ``docs/API.md`` — to reuse cached
-artifacts across calls::
-
-    from repro.session import Session
     from repro import api
 
-    session = Session()
-    api.analyze_source(src, session=session)
-    api.diagnose_source(src, session=session)   # front end cached
-    api.pfg_dot(src, session=session)           # pure cache walk
+    result = api.diagnose(source)          # DiagnoseResult
+    result.clean, result.warnings, result.races
 
-These free functions are the supported compatibility surface — they are
-the facade, so they emit no deprecation warnings.
+    result = api.optimize(source)          # OptimizeResult
+    result.listing, result.removed, result.moved
+
+    result = api.compile_source(source, stage="dot")
+    result.artifacts["dot"]
+
+Every call gets an **ephemeral** session by default (results are
+recomputed from scratch); pass a long-lived
+:class:`~repro.session.session.Session` via ``session=`` to reuse
+cached artifacts across calls — the result's ``provenance`` then shows
+the cache traffic.
+
+Legacy surface (deprecated since 1.2, kept until 2.0 — see
+``docs/API.md``): :func:`analyze_source`, :func:`diagnose_source`,
+:func:`optimize_source` and :func:`pfg_dot` return the historical
+loose shapes (live ``CSSAMEForm`` / ``(warnings, races)`` tuple /
+``OptimizationReport`` / DOT string).  They keep working bit-for-bit
+but emit :class:`DeprecationWarning`; new code that needs live
+compiler objects should hold a ``Session`` directly, and code that
+needs data should take the typed results.  :func:`front_end` and
+:func:`listing` are *not* deprecated — structured IR in, text out is
+already a typed contract.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import warnings as _warnings
+from typing import Any, Mapping, Optional
 
 from repro.cssame.builder import CSSAMEForm
+from repro.errors import UnsupportedRequest
 from repro.ir.printer import format_ir
 from repro.ir.structured import ProgramIR
 from repro.mutex.races import RaceReport
 from repro.mutex.warnings import SyncWarning
-from repro.obs.trace import Tracer
+from repro.obs.prof import WORK_PREFIX
+from repro.obs.trace import Tracer, get_tracer, use_tracer
 from repro.opt.pipeline import OptimizationReport
+from repro.report import measure_form
+from repro.results import (
+    CompileResult,
+    DiagnoseResult,
+    OptimizeResult,
+    Provenance,
+    result_class_for,
+)
 from repro.session.session import Session
 
 __all__ = [
+    "SERVE_STAGES",
+    "analyze",
     "analyze_source",
+    "compile_source",
+    "diagnose",
     "diagnose_source",
     "front_end",
     "listing",
+    "optimize",
     "optimize_source",
     "pfg_dot",
+    "stage_options",
 ]
+
+#: stages a compile request may name, and the option schema of each
+#: (name → default).  This table *is* the wire contract: the server
+#: validates requests against it and ``docs/API.md`` documents it.
+SERVE_STAGES: dict[str, dict[str, Any]] = {
+    "analyze": {"prune": True, "prune_events": True},
+    "diagnostics": {},
+    "optimized": {
+        "passes": ("constprop", "pdce", "licm"),
+        "use_mutex": True,
+        "fold_output_uses": True,
+        "simplify": True,
+    },
+    "dot": {"title": "PFG", "prune": True},
+    "bytecode": {},
+    "audit": {
+        "runs": 16,
+        "seed_base": 0,
+        "fuel": 1_000_000,
+        "explore": True,
+        "max_states": 20_000,
+    },
+}
+
+
+def stage_options(stage: str, options: Optional[Mapping[str, Any]] = None) -> dict:
+    """Validate and default a request's options against the stage schema.
+
+    Raises :class:`~repro.errors.UnsupportedRequest` (``E_UNSUPPORTED``)
+    for an unknown stage or option name — the same typed error a server
+    frame carries.
+    """
+    schema = SERVE_STAGES.get(stage)
+    if schema is None:
+        raise UnsupportedRequest(
+            f"unknown stage {stage!r} (expected one of {sorted(SERVE_STAGES)})"
+        )
+    merged = dict(schema)
+    for name, value in (options or {}).items():
+        if name not in schema:
+            raise UnsupportedRequest(
+                f"stage {stage!r} takes no option {name!r} "
+                f"(valid: {sorted(schema) or 'none'})"
+            )
+        # JSON has no tuples; normalise list-valued options.
+        merged[name] = tuple(value) if isinstance(value, list) else value
+    return merged
 
 
 def _session(session: Optional[Session]) -> Session:
@@ -61,9 +128,265 @@ def _session(session: Optional[Session]) -> Session:
     return session if session is not None else Session()
 
 
+# -- stage handlers: (session, source, options) -> (artifacts, diagnostics) --
+
+
+def _run_analyze(sess: Session, source: str, opts: dict):
+    form = sess.analyze(
+        source, prune=opts["prune"], prune_events=opts["prune_events"]
+    )
+    rewrite = None
+    if form.rewrite_stats is not None:
+        rewrite = {
+            "args_removed": form.rewrite_stats.args_removed,
+            "pis_deleted": form.rewrite_stats.pis_deleted,
+        }
+    artifacts = {
+        "listing": format_ir(form.program),
+        "form": "CSSAME" if opts["prune"] else "CSSA",
+        "metrics": measure_form(form.program).as_dict(),
+        "mutex_bodies": len(form.mutex_bodies()),
+        "rewrite": rewrite,
+    }
+    return artifacts, ()
+
+
+def _run_diagnostics(sess: Session, source: str, opts: dict):
+    warnings, races = sess.diagnose(source)
+    frames = [
+        {"kind": w.kind, "message": w.message, "blocks": list(w.blocks)}
+        for w in warnings
+    ]
+    frames += [
+        {"kind": "race", "message": r.message(), "race": r.as_dict()}
+        for r in races
+    ]
+    artifacts = {"warnings": len(warnings), "races": len(races)}
+    return artifacts, tuple(frames)
+
+
+def _run_optimized(sess: Session, source: str, opts: dict):
+    report = sess.optimize(
+        source,
+        passes=tuple(opts["passes"]),
+        use_mutex=opts["use_mutex"],
+        fold_output_uses=opts["fold_output_uses"],
+        simplify=opts["simplify"],
+    )
+    artifacts = {
+        "listing": report.listings["final"],
+        "phases": sorted(report.listings),
+        "constants": len(report.constprop.constants) if report.constprop else 0,
+        "removed": report.pdce.total_removed if report.pdce else 0,
+        "moved": report.licm.total_moved if report.licm else 0,
+        "statements": report.statement_count(),
+        "metrics": measure_form(report.program).as_dict(),
+    }
+    return artifacts, ()
+
+
+def _run_dot(sess: Session, source: str, opts: dict):
+    text = sess.dot(source, title=opts["title"], prune=opts["prune"])
+    return {"dot": text}, ()
+
+
+def _run_bytecode(sess: Session, source: str, opts: dict):
+    program = sess.bytecode(source)
+    artifacts = {
+        "listing": program.disassemble(),
+        "instructions": len(program),
+        "entry": program.entry,
+    }
+    return artifacts, ()
+
+
+def _run_audit(sess: Session, source: str, opts: dict):
+    from repro.dynamic.audit import audit_source
+
+    report = audit_source(
+        source,
+        runs=opts["runs"],
+        seed_base=opts["seed_base"],
+        fuel=opts["fuel"],
+        explore_states=opts["max_states"],
+        do_explore=opts["explore"],
+        session=sess,
+    )
+    frames = [
+        {"kind": f"race-{f.status}", "message": f.message()}
+        for f in report.findings
+    ]
+    frames += [
+        {"kind": "race-dynamic-only", "message": r.message()}
+        for r in report.dynamic_only
+    ]
+    artifacts = {
+        "audit": report.as_dict(),
+        "sound": report.sound,
+        "exit": report.exit_code(strict=False),
+        "exit_strict": report.exit_code(strict=True),
+    }
+    return artifacts, tuple(frames)
+
+
+_HANDLERS = {
+    "analyze": _run_analyze,
+    "diagnostics": _run_diagnostics,
+    "optimized": _run_optimized,
+    "dot": _run_dot,
+    "bytecode": _run_bytecode,
+    "audit": _run_audit,
+}
+
+#: wire stage → (stage-graph node, option names that feed its key)
+_GRAPH_STAGE = {
+    "analyze": ("cssame", ("prune", "prune_events")),
+    "diagnostics": ("diagnostics", ()),
+    "optimized": (
+        "optimized",
+        ("passes", "use_mutex", "fold_output_uses", "simplify"),
+    ),
+    "dot": ("dot", ("title", "prune")),
+    "bytecode": ("bytecode", ()),
+}
+
+
+def compile_source(
+    source: str,
+    stage: str = "diagnostics",
+    options: Optional[Mapping[str, Any]] = None,
+    session: Optional[Session] = None,
+    trace: Optional[Tracer] = None,
+) -> CompileResult:
+    """Run one stage journey and return its typed result.
+
+    ``stage`` names a wire stage (see :data:`SERVE_STAGES`); ``options``
+    is validated against the stage's schema.  The result's ``as_dict()``
+    is exactly what ``repro serve`` would answer for the same request.
+    """
+    opts = stage_options(stage, options)
+    sess = _session(session)
+    # Always run under a private tracer so the work/cache counters are
+    # exact for *this* request, then forward the capture to the caller's
+    # tracer (or the ambient --trace one) so nothing is lost to it.
+    tracer = Tracer()
+    with use_tracer(tracer):
+        artifacts, diagnostics = _HANDLERS[stage](sess, source, opts)
+    ambient = trace if trace is not None else get_tracer()
+    if getattr(ambient, "enabled", False) and ambient is not tracer:
+        ambient.absorb(tracer)
+    counters = tracer.metrics.counters
+    work = {
+        name: counter.value
+        for name, counter in sorted(counters.items())
+        if name.startswith(WORK_PREFIX)
+    }
+    artifact_key = None
+    if stage in _GRAPH_STAGE:
+        node, names = _GRAPH_STAGE[stage]
+        artifact_key = sess.artifact_key(
+            node, source, **{n: opts[n] for n in names}
+        )
+    provenance = Provenance(
+        source_key=_source_key(source),
+        stage=stage,
+        artifact_key=artifact_key,
+        cache_hits=_counter_value(counters, "session.cache.hit"),
+        cache_misses=_counter_value(counters, "session.cache.miss"),
+    )
+    return result_class_for(stage)(
+        stage=stage,
+        artifacts=artifacts,
+        provenance=provenance,
+        diagnostics=diagnostics,
+        work=work,
+    )
+
+
+def _source_key(source: str) -> str:
+    from repro.session.artifacts import source_key
+
+    return source_key(source)
+
+
+def _counter_value(counters: Mapping[str, Any], name: str) -> int:
+    counter = counters.get(name)
+    return counter.value if counter is not None else 0
+
+
+# -- typed stage helpers -----------------------------------------------------
+
+
+def analyze(
+    source: str,
+    prune: bool = True,
+    session: Optional[Session] = None,
+    trace: Optional[Tracer] = None,
+) -> CompileResult:
+    """Typed CSSAME/CSSA analysis (listing + form metrics)."""
+    return compile_source(
+        source, "analyze", {"prune": prune}, session=session, trace=trace
+    )
+
+
+def diagnose(
+    source: str,
+    session: Optional[Session] = None,
+    trace: Optional[Tracer] = None,
+) -> DiagnoseResult:
+    """Typed Section 6 diagnostics (warnings + races as frames)."""
+    result = compile_source(source, "diagnostics", session=session, trace=trace)
+    assert isinstance(result, DiagnoseResult)
+    return result
+
+
+def optimize(
+    source: str,
+    passes: tuple[str, ...] = ("constprop", "pdce", "licm"),
+    use_mutex: bool = True,
+    fold_output_uses: bool = True,
+    session: Optional[Session] = None,
+    trace: Optional[Tracer] = None,
+) -> OptimizeResult:
+    """Typed optimization pipeline result (listing + pass stats)."""
+    result = compile_source(
+        source,
+        "optimized",
+        {
+            "passes": tuple(passes),
+            "use_mutex": use_mutex,
+            "fold_output_uses": fold_output_uses,
+        },
+        session=session,
+        trace=trace,
+    )
+    assert isinstance(result, OptimizeResult)
+    return result
+
+
+# -- supported non-deprecated helpers ---------------------------------------
+
+
 def front_end(source: str, session: Optional[Session] = None) -> ProgramIR:
     """Parse and lower ``source`` to structured IR (a private copy)."""
     return _session(session).front_end(source)
+
+
+def listing(program: ProgramIR) -> str:
+    """Source-like listing of a program in any form."""
+    return format_ir(program)
+
+
+# -- deprecated legacy shims (loose returns; removed in 2.0) -----------------
+
+
+def _deprecated(name: str, replacement: str) -> None:
+    _warnings.warn(
+        f"repro.api.{name} is deprecated since 1.2 (removal in 2.0); "
+        f"use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def analyze_source(
@@ -72,7 +395,12 @@ def analyze_source(
     trace: Optional[Tracer] = None,
     session: Optional[Session] = None,
 ) -> CSSAMEForm:
-    """Build the CSSAME form (``prune=False`` → plain CSSA) of ``source``."""
+    """Deprecated: the live CSSAME form (``prune=False`` → plain CSSA).
+
+    Use :meth:`Session.analyze` for the live form, or :func:`analyze`
+    for the typed result.
+    """
+    _deprecated("analyze_source", "Session.analyze or api.analyze")
     return _session(session).analyze(source, prune=prune, trace=trace)
 
 
@@ -84,7 +412,12 @@ def optimize_source(
     trace: Optional[Tracer] = None,
     session: Optional[Session] = None,
 ) -> OptimizationReport:
-    """Run the paper's optimization pipeline on ``source``."""
+    """Deprecated: the live :class:`OptimizationReport`.
+
+    Use :meth:`Session.optimize` for the live report, or
+    :func:`optimize` for the typed result.
+    """
+    _deprecated("optimize_source", "Session.optimize or api.optimize")
     return _session(session).optimize(
         source,
         passes=passes,
@@ -99,8 +432,12 @@ def diagnose_source(
     trace: Optional[Tracer] = None,
     session: Optional[Session] = None,
 ) -> tuple[list[SyncWarning], list[RaceReport]]:
-    """Section 6 diagnostics: sync-structure warnings (including static
-    lock-order deadlock risks) + potential data races."""
+    """Deprecated: the loose ``(warnings, races)`` tuple.
+
+    Use :meth:`Session.diagnose` for live findings, or :func:`diagnose`
+    for the typed result.
+    """
+    _deprecated("diagnose_source", "Session.diagnose or api.diagnose")
     return _session(session).diagnose(source, trace=trace)
 
 
@@ -111,14 +448,9 @@ def pfg_dot(
     trace: Optional[Tracer] = None,
     session: Optional[Session] = None,
 ) -> str:
-    """DOT rendering of the PFG of ``source``.
+    """Deprecated: the DOT text of the PFG.
 
-    ``prune=False`` renders the plain-CSSA graph; ``trace=`` captures
-    the run like every other helper here.
+    Use :meth:`Session.dot`, or ``compile_source(src, "dot")``.
     """
+    _deprecated("pfg_dot", "Session.dot or api.compile_source(..., 'dot')")
     return _session(session).dot(source, title=title, prune=prune, trace=trace)
-
-
-def listing(program: ProgramIR) -> str:
-    """Source-like listing of a program in any form."""
-    return format_ir(program)

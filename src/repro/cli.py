@@ -21,6 +21,14 @@ Commands
               unconfirmed / dynamic-only; ``--strict`` gates on
               confirmed races).
 ``dot``       print a Graphviz rendering of the PFG.
+``serve``     run the resilient compile service: a JSON-lines-over-TCP
+              daemon fronting the Session stage graph with a persistent
+              artifact store (``--store DIR``), a bounded worker pool
+              (``--jobs``), per-request deadlines (``--deadline-ms``)
+              and graceful drain on SIGTERM.
+``request``   one-shot client for ``serve``: send FILE to a running
+              daemon (``--stage``; ``--json`` prints the full response
+              frame) with jittered-backoff retries on overload.
 ``stats``     run the pipeline under a tracer and print the per-pass
               timing/decision/metrics tables.
 ``profile``   run the pipeline under a tracer and print the per-phase
@@ -40,14 +48,21 @@ of the run (``chrome`` traces load in ``chrome://tracing`` / Perfetto;
 Exit-code contract
 ------------------
 
+Derived from the machine-readable error taxonomy in
+:mod:`repro.errors` (``exit_code_for``); the error line printed on
+stderr carries the code: ``error: [E_PARSE] 1:5: ...``.
+
 * ``0`` — success (for ``diagnose``: no findings, or ``--no-strict``).
-* ``1`` — ``diagnose`` found warnings/races under ``--strict`` (the
-  default), ``witness`` found no matching schedule, ``bench``
-  detected a regression (``--check``) or a failing benchmark, or
-  ``audit`` found a dynamic-only race (always — a soundness failure)
-  or, under ``--strict``, a confirmed race.
-* ``2`` — the executed/explored program can deadlock.
-* ``3`` — usage or input error (parse error, missing file, ...).
+* ``1`` — findings: ``diagnose`` found warnings/races under
+  ``--strict`` (the default), ``witness`` found no matching schedule,
+  ``bench`` detected a regression (``--check``) or a failing
+  benchmark, or ``audit`` found a dynamic-only race (always — a
+  soundness failure) or, under ``--strict``, a confirmed race.
+* ``2`` — the executed/explored program can deadlock (``E_DEADLOCK``).
+* ``3`` — usage or input error: ``E_PARSE``, ``E_SEMANTIC``,
+  ``E_ANALYSIS``, ``E_IO``, ``E_USAGE``, ``E_UNSUPPORTED``.
+* ``4`` — service error (``request``/``serve``): ``E_TIMEOUT``,
+  ``E_OVERLOADED``, ``E_SHUTDOWN``, ``E_PROTOCOL``, ``E_INTERNAL``.
 
 CI pipelines that want diagnostics as advisory output rather than a
 gate should pass ``--no-strict`` to ``diagnose``.
@@ -59,11 +74,20 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.api import analyze_source, diagnose_source, front_end, pfg_dot
-from repro.errors import ReproError
-from repro.ir.printer import format_ir
+from repro import api
+from repro._version import __version__
+from repro.api import front_end
+from repro.errors import (
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    EXIT_OK,
+    ReproError,
+    error_code,
+    exit_code_for,
+)
 from repro.obs.export import TRACE_FORMATS, write_trace
 from repro.obs.trace import Tracer, get_tracer, use_tracer
+from repro.serve.protocol import DEFAULT_PORT as DEFAULT_SERVE_PORT
 from repro.opt.pipeline import optimize
 from repro.report import measure_form
 from repro.session.batch import BatchSession
@@ -82,21 +106,21 @@ def _read_source(path: str) -> str:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     source = _read_source(args.file)
-    form = analyze_source(source, prune=not args.cssa)
-    print(format_ir(form.program), end="")
-    metrics = measure_form(form.program)
-    print(f"// form: {'CSSA' if args.cssa else 'CSSAME'}")
-    print(f"// pi terms: {metrics.pi_terms} ({metrics.pi_args} arguments)")
-    print(f"// phi terms: {metrics.phi_terms}")
-    if form.rewrite_stats is not None:
-        s = form.rewrite_stats
+    result = api.analyze(source, prune=not args.cssa)
+    artifacts = result.artifacts
+    metrics = artifacts["metrics"]
+    print(artifacts["listing"], end="")
+    print(f"// form: {artifacts['form']}")
+    print(f"// pi terms: {metrics['pi_terms']} ({metrics['pi_args']} arguments)")
+    print(f"// phi terms: {metrics['phi_terms']}")
+    if artifacts["rewrite"] is not None:
+        s = artifacts["rewrite"]
         print(
-            f"// A.3 removed {s.args_removed} conflict argument(s), "
-            f"deleted {s.pis_deleted} pi term(s)"
+            f"// A.3 removed {s['args_removed']} conflict argument(s), "
+            f"deleted {s['pis_deleted']} pi term(s)"
         )
-    bodies = form.mutex_bodies()
-    print(f"// mutex bodies: {len(bodies)}")
-    return 0
+    print(f"// mutex bodies: {artifacts['mutex_bodies']}")
+    return EXIT_OK
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
@@ -118,18 +142,25 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_diagnostic_frames(frames) -> None:
+    """Render diagnostics frames the way ``diagnose`` always has."""
+    for frame in frames:
+        if frame["kind"] == "race":
+            print(f"race: {frame['message']}")
+        else:
+            print(f"warning [{frame['kind']}]: {frame['message']}")
+
+
 def _cmd_diagnose(args: argparse.Namespace) -> int:
-    warnings, races = diagnose_source(_read_source(args.file))
-    for w in warnings:
-        print(f"warning [{w.kind}]: {w.message}")
-    for r in races:
-        print(f"race: {r.message()}")
-    if not warnings and not races:
+    result = api.diagnose(_read_source(args.file))
+    _print_diagnostic_frames(result.warnings)
+    _print_diagnostic_frames(result.races)
+    if result.clean:
         print("no synchronization problems found")
-        return 0
+        return EXIT_OK
     # --strict (default): findings gate the build; --no-strict reports
     # them but exits 0 (see the module docstring's exit-code contract).
-    return 1 if args.strict else 0
+    return EXIT_FINDINGS if args.strict else EXIT_OK
 
 
 def _print_events(execution) -> None:
@@ -252,11 +283,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_dot(args: argparse.Namespace) -> int:
-    print(
-        pfg_dot(_read_source(args.file), title=args.file, prune=not args.cssa),
-        end="",
+    result = api.compile_source(
+        _read_source(args.file),
+        "dot",
+        {"title": args.file, "prune": not args.cssa},
     )
-    return 0
+    print(result.artifacts["dot"], end="")
+    return EXIT_OK
 
 
 def _print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
@@ -490,6 +523,77 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 1 if regressions or errors else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the compile service until SIGTERM/SIGINT drains it."""
+    from repro.serve.server import CompileServer
+
+    server = CompileServer(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        store_dir=args.store,
+        deadline_ms=args.deadline_ms,
+        queue_limit=args.queue_limit,
+    )
+
+    def ready(host: str, port: int) -> None:
+        print(
+            f"repro serve: listening on {host}:{port} "
+            f"(jobs={server.jobs}, deadline_ms={server.deadline_ms:g}, "
+            f"store={args.store or 'memory'})",
+            flush=True,
+        )
+
+    code = server.run(ready)
+    print("repro serve: drained, bye", flush=True)
+    return code
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    """One-shot client: send FILE to a running ``repro serve`` daemon."""
+    import json
+
+    from repro.results import result_from_dict
+    from repro.serve.client import ServeClient
+
+    try:
+        options = json.loads(args.options) if args.options else {}
+    except json.JSONDecodeError as exc:
+        print(f"error: [E_USAGE] --options is not valid JSON: {exc}",
+              file=sys.stderr)
+        return EXIT_ERROR
+    if args.kind != "compile":
+        with ServeClient(args.host, args.port, timeout=args.timeout) as client:
+            payload = client.ops() if args.kind == "ops" else client.ping()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return EXIT_OK
+
+    source = _read_source(args.file)
+    with ServeClient(args.host, args.port, timeout=args.timeout) as client:
+        response = client.request(source, stage=args.stage, options=options)
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+    if not response["ok"]:
+        error = response["error"]
+        if not args.json:
+            print(f"error: [{error['code']}] {error['message']}",
+                  file=sys.stderr)
+        return exit_code_for(error["code"])
+    if not args.json:
+        result = result_from_dict(response["result"])
+        _print_diagnostic_frames(result.diagnostics)
+        for key in ("listing", "dot"):
+            if key in result.artifacts:
+                print(result.artifacts[key], end="")
+        prov = result.provenance
+        print(
+            f"// stage: {result.stage} cache_hits={prov.cache_hits} "
+            f"cache_misses={prov.cache_misses} "
+            f"elapsed_ms={response.get('elapsed_ms', 0.0):g}"
+        )
+    return EXIT_OK
+
+
 def _cmd_witness(args: argparse.Namespace) -> int:
     """Find and replay a schedule printing the requested values."""
     from repro.vm.explore import find_witness
@@ -591,6 +695,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="CSSAME compiler driver (ICPP'98 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     # Tracing flags are shared by every command (parsed per-subcommand
     # so they may appear before or after the file argument).
@@ -765,6 +872,68 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_profile)
 
+    # No tracing parent: the daemon owns its own observability (the
+    # ``ops`` request kind exposes its counters and latency histograms).
+    p = sub.add_parser(
+        "serve",
+        help="run the resilient compile service (JSON lines over TCP)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=DEFAULT_SERVE_PORT,
+        help=f"TCP port (default: {DEFAULT_SERVE_PORT}; 0 = pick a free "
+             "port, printed in the ready line)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker threads (default: min(cpu_count, 8))",
+    )
+    p.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="persistent artifact store directory (default: memory only)",
+    )
+    p.add_argument(
+        "--deadline-ms", type=float, default=30_000.0, metavar="MS",
+        help="per-request stage deadline (default: 30000)",
+    )
+    p.add_argument(
+        "--queue-limit", type=int, default=None, metavar="N",
+        help="max in-flight requests before E_OVERLOADED (default: 4*jobs)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "request",
+        help="send FILE to a running `repro serve` daemon",
+    )
+    p.add_argument(
+        "file", nargs="?", default="-",
+        help="source file ('-' = stdin; unused for --kind ops/ping)",
+    )
+    p.add_argument(
+        "--stage", default="diagnostics", choices=sorted(api.SERVE_STAGES),
+        help="pipeline stage to request (default: diagnostics)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=DEFAULT_SERVE_PORT)
+    p.add_argument(
+        "--kind", choices=("compile", "ops", "ping"), default="compile",
+        help="request kind (ops = server health/metrics JSON)",
+    )
+    p.add_argument(
+        "--options", metavar="JSON", default=None,
+        help="stage options as a JSON object",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="socket timeout per attempt (default: 60)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the full response frame as JSON",
+    )
+    p.set_defaults(func=_cmd_request)
+
     # No tracing parent: an ambient tracer would distort the timed runs
     # (the runner enables its own tracer for the work-counter pass).
     p = sub.add_parser(
@@ -827,12 +996,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 code = args.func(args)
         else:
             code = args.func(args)
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        code = 3
-    except OSError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        code = 3
+    except (ReproError, OSError) as exc:
+        # One error surface for the whole CLI: the taxonomy code in
+        # brackets, then the message.  Exit codes derive from the code
+        # (parse/semantic/io → 3, deadlock → 2, service trouble → 4).
+        print(f"error: [{error_code(exc)}] {exc}", file=sys.stderr)
+        code = exit_code_for(error_code(exc))
     # Export whatever was captured, even on a non-zero exit — a failing
     # run is exactly when the trace is most wanted.  A write failure is
     # an error (3) unless the command itself already failed harder.

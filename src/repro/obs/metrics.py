@@ -107,6 +107,18 @@ class MetricsRegistry:
             self.histograms[name] = instrument
         return instrument
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one.
+
+        Counters add; histograms concatenate observations.  The serve
+        layer uses this to aggregate per-request tracer metrics into
+        the server-lifetime registry its ``ops`` endpoint reports.
+        """
+        for name, counter in other.counters.items():
+            self.counter(name).inc(counter.value)
+        for name, hist in other.histograms.items():
+            self.histogram(name).values.extend(hist.values)
+
     def as_dict(self) -> dict:
         return {
             "counters": {n: c.value for n, c in sorted(self.counters.items())},

@@ -124,8 +124,10 @@ def profile_source(
     """Run the optimization pipeline on ``source`` under a fresh tracer
     and return its :class:`WorkProfile` (wall times + work counters).
     """
-    from repro.api import optimize_source
+    from repro.session import Session
 
     tracer = tracer if tracer is not None else Tracer()
-    report = optimize_source(source, passes=passes, use_mutex=use_mutex, trace=tracer)
+    report = Session().optimize(
+        source, passes=passes, use_mutex=use_mutex, trace=tracer
+    )
     return WorkProfile(tracer, report)

@@ -142,6 +142,27 @@ class Tracer:
     def histogram(self, name: str) -> Histogram:
         return self.metrics.histogram(name)
 
+    def absorb(self, other: "Tracer") -> None:
+        """Fold another tracer's records and metrics into this one.
+
+        Spans and events are re-based onto this tracer's timeline (the
+        epochs differ), so an exported trace stays monotonic; counters
+        add and histograms concatenate.  Used by the api facade, which
+        runs every request under a private tracer for exact per-request
+        accounting and then forwards the capture to the ambient
+        ``--trace`` tracer.
+        """
+        delta = other._epoch - self._epoch
+        for record in other.records:
+            if isinstance(record, Span):
+                record.start += delta
+                if record.end is not None:
+                    record.end += delta
+            else:
+                record.ts += delta
+            self.records.append(record)
+        self.metrics.merge(other.metrics)
+
     # -- views ---------------------------------------------------------------
 
     def spans(self) -> list[Span]:

@@ -1,0 +1,49 @@
+"""repro.serve — the resilient compile service.
+
+A long-lived daemon that fronts the :class:`~repro.session.session.Session`
+stage graph over a JSON-lines-over-TCP protocol (stdlib only):
+
+* :mod:`repro.serve.store` — a persistent, content-addressed artifact
+  store layered under the in-memory LRU, so a restarted server answers
+  warm from disk;
+* :mod:`repro.serve.protocol` — the wire frames (requests, typed
+  results, machine-readable error frames);
+* :mod:`repro.serve.server` — the asyncio server: bounded worker pool,
+  queue-depth backpressure, per-request deadlines, graceful drain on
+  SIGTERM, and an ``ops`` endpoint for health/metrics;
+* :mod:`repro.serve.client` — a blocking client with jittered
+  exponential-backoff retries (requests are idempotent by construction:
+  they are keyed by source hash).
+
+Quickstart::
+
+    repro serve --port 7411 --store .repro-store &
+    repro request program.par --stage diagnostics --json
+
+or programmatically::
+
+    from repro.serve import CompileServer, ServeClient
+
+    server = CompileServer(port=0, store_dir=".repro-store")
+    # server.run() blocks; see tests/serve/conftest.py for the
+    # background-thread harness pattern.
+
+    with ServeClient(port=server.port) as client:
+        result = client.compile(source, stage="diagnostics")
+        print(result.clean, result.provenance.cache_hits)
+"""
+
+from repro.serve.client import RetryPolicy, ServeClient
+from repro.serve.protocol import DEFAULT_PORT, PROTOCOL_VERSION
+from repro.serve.server import CompileServer
+from repro.serve.store import PersistentStore, StoreStats
+
+__all__ = [
+    "CompileServer",
+    "DEFAULT_PORT",
+    "PROTOCOL_VERSION",
+    "PersistentStore",
+    "RetryPolicy",
+    "ServeClient",
+    "StoreStats",
+]

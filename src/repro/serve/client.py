@@ -1,0 +1,234 @@
+"""Blocking client for the compile service, with a typed retry policy.
+
+Requests are **idempotent by construction** — a compile request is
+keyed by its source hash, stage, and options, so replaying one can at
+worst warm the server's cache twice.  The client therefore retries
+freely on the two transient failure shapes:
+
+* a typed ``E_OVERLOADED`` (or ``E_SHUTDOWN``) error frame — the
+  server is alive but refusing work right now;
+* a connection-level failure (refused, reset, EOF mid-frame) — the
+  server is restarting or the network hiccuped.
+
+Backoff is exponential with full jitter (``delay × (1 + jitter·U)``,
+doubling per attempt, capped), the standard shape that avoids
+synchronized retry stampedes.  Both the RNG and the sleep function are
+injectable so the fault-injection tests run deterministically and
+instantly.
+
+Definite errors — ``E_PARSE``, ``E_UNSUPPORTED``, ``E_TIMEOUT``,
+``E_INTERNAL``, ... — are *not* retried; they surface immediately as
+:class:`~repro.errors.RemoteError` carrying the server's taxonomy code
+verbatim.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+from repro.errors import E_OVERLOADED, E_SHUTDOWN, ProtocolError, RemoteError
+from repro.results import CompileResult, result_from_dict
+from repro.serve.protocol import (
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = ["RetryPolicy", "ServeClient"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff for transient failures."""
+
+    #: total attempts (1 = no retries)
+    attempts: int = 5
+    #: first backoff delay, seconds
+    base_delay: float = 0.05
+    #: growth factor per retry
+    multiplier: float = 2.0
+    #: backoff ceiling, seconds
+    max_delay: float = 2.0
+    #: fraction of the delay added as uniform random jitter
+    jitter: float = 0.5
+    #: taxonomy codes worth retrying (server alive, refusing for now)
+    retry_codes: tuple = (E_OVERLOADED, E_SHUTDOWN)
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        raw = min(
+            self.max_delay, self.base_delay * self.multiplier ** (attempt - 1)
+        )
+        return raw * (1.0 + self.jitter * rng.random())
+
+
+class ServeClient:
+    """One TCP connection to a :class:`~repro.serve.server.CompileServer`.
+
+    The connection is opened lazily and re-opened per retry attempt
+    when it breaks.  Not thread-safe: give each thread its own client
+    (the stress tests do exactly that).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 60.0,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._next_id = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._file = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - already dead
+                pass
+        self._sock = None
+        self._file = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _call_once(self, frame: Mapping[str, Any]) -> dict:
+        """One request/response round trip on the current connection."""
+        self._connect()
+        self._sock.sendall(encode_frame(frame))
+        line = self._file.readline()
+        if not line:
+            raise ConnectionResetError("server closed the connection")
+        response = decode_frame(line)
+        if "ok" not in response:
+            raise ProtocolError(f"response frame without 'ok': {response!r}")
+        return response
+
+    def call(self, frame: Mapping[str, Any]) -> dict:
+        """Send one frame, retrying per the policy; returns the response.
+
+        Connection failures and retryable error frames back off and
+        retry.  Once attempts are exhausted the last response frame is
+        returned (so callers always see the typed error); the call only
+        *raises* when no response was ever received.
+        """
+        last_exc: Optional[Exception] = None
+        response: Optional[dict] = None
+        for attempt in range(1, self.retry.attempts + 1):
+            try:
+                response = self._call_once(frame)
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                self.close()
+                last_exc = exc
+                response = None
+            else:
+                error = None if response.get("ok") else response.get("error", {})
+                if error is None or error.get("code") not in self.retry.retry_codes:
+                    return response
+            if attempt < self.retry.attempts:
+                self._sleep(self.retry.delay(attempt, self._rng))
+        if response is not None:
+            return response
+        assert last_exc is not None
+        raise last_exc
+
+    def _request_id(self) -> str:
+        self._next_id += 1
+        return f"c{self._next_id}"
+
+    # -- the protocol surface ------------------------------------------------
+
+    def request(
+        self,
+        source: str,
+        stage: str = "diagnostics",
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> dict:
+        """Raw compile request; returns the full response frame."""
+        return self.call(
+            {
+                "v": PROTOCOL_VERSION,
+                "id": self._request_id(),
+                "kind": "compile",
+                "source": source,
+                "stage": stage,
+                "options": dict(options or {}),
+            }
+        )
+
+    def compile(
+        self,
+        source: str,
+        stage: str = "diagnostics",
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> CompileResult:
+        """Typed compile: a result dataclass, or :class:`RemoteError`."""
+        response = self.request(source, stage, options)
+        if not response["ok"]:
+            error = response["error"]
+            raise RemoteError(
+                error["code"],
+                error["message"],
+                {k: v for k, v in error.items() if k not in ("code", "message")},
+            )
+        return result_from_dict(response["result"])
+
+    def ops(self) -> dict:
+        """Server health/metrics (raises :class:`RemoteError` on failure)."""
+        response = self.call(
+            {"v": PROTOCOL_VERSION, "id": self._request_id(), "kind": "ops"}
+        )
+        if not response["ok"]:
+            error = response["error"]
+            raise RemoteError(error["code"], error["message"])
+        return response["result"]
+
+    def ping(self) -> dict:
+        response = self.call(
+            {"v": PROTOCOL_VERSION, "id": self._request_id(), "kind": "ping"}
+        )
+        if not response["ok"]:
+            error = response["error"]
+            raise RemoteError(error["code"], error["message"])
+        return response["result"]
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain gracefully (same path as SIGTERM)."""
+        response = self.call(
+            {
+                "v": PROTOCOL_VERSION,
+                "id": self._request_id(),
+                "kind": "shutdown",
+            }
+        )
+        if not response["ok"]:
+            error = response["error"]
+            raise RemoteError(error["code"], error["message"])
+        return response["result"]

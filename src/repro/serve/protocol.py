@@ -1,0 +1,159 @@
+"""The wire protocol: JSON lines over TCP.
+
+Every frame — request or response — is one JSON object on one line,
+UTF-8, ``\\n``-terminated.  Connections are persistent: a client may
+send any number of requests; the server may answer out of order, so
+every frame carries the client-chosen ``id`` for correlation.
+
+Request frames::
+
+    {"v": 1, "id": "r1", "kind": "compile",
+     "stage": "diagnostics", "source": "...", "options": {...}}
+    {"v": 1, "id": "r2", "kind": "ops"}
+    {"v": 1, "id": "r3", "kind": "ping"}
+    {"v": 1, "id": "r4", "kind": "shutdown"}
+
+``stage`` is one of :data:`repro.api.SERVE_STAGES`; ``options`` is
+validated against that stage's schema.  ``ops`` returns server
+health/metrics, ``ping`` is a liveness probe, ``shutdown`` asks the
+server to drain gracefully (same path as SIGTERM).
+
+Response frames::
+
+    {"v": 1, "id": "r1", "ok": true,  "result": {...}, "elapsed_ms": 3.2}
+    {"v": 1, "id": "r1", "ok": false, "error": {"code": "E_TIMEOUT",
+                                                "type": "DeadlineExceeded",
+                                                "message": "..."}}
+
+``result`` of a compile response is exactly
+``repro.results.CompileResult.as_dict()`` — bit-identical to what the
+in-process facade returns for the same source/stage/options.  ``error``
+is :func:`repro.errors.error_frame`: the ``code`` is always one of the
+documented taxonomy codes, so clients never parse prose.
+
+Malformed frames raise :class:`~repro.errors.ProtocolError`
+(``E_PROTOCOL``); the server answers them with an error frame instead
+of dropping the connection, unless the line is not even JSON-decodable
+text, in which case it answers once and closes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Optional
+
+from repro.errors import ProtocolError, error_frame
+
+__all__ = [
+    "DEFAULT_PORT",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "REQUEST_KINDS",
+    "decode_frame",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "validate_request",
+]
+
+PROTOCOL_VERSION = 1
+
+#: the registered-ish default port of ``repro serve``
+DEFAULT_PORT = 7411
+
+#: hard cap on one frame (sources are small; 32 MiB is generous)
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+REQUEST_KINDS = ("compile", "ops", "ping", "shutdown")
+
+
+def encode_frame(frame: Mapping[str, Any]) -> bytes:
+    """One JSON object, one line.  Deterministic (sorted keys)."""
+    return json.dumps(frame, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    ) + b"\n"
+
+
+def decode_frame(line: bytes) -> dict:
+    """Parse one wire line into a frame dict.
+
+    Raises :class:`ProtocolError` when the line is not a JSON object.
+    """
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(frame).__name__}"
+        )
+    return frame
+
+
+def validate_request(frame: Mapping[str, Any]) -> dict:
+    """Check a decoded frame is a well-formed request.
+
+    Returns a normalised copy (defaults filled in).  Stage/option
+    validation happens later, against :data:`repro.api.SERVE_STAGES`,
+    so unsupported stages get ``E_UNSUPPORTED`` rather than
+    ``E_PROTOCOL``.
+    """
+    version = frame.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {version!r} not supported "
+            f"(this server speaks v{PROTOCOL_VERSION})"
+        )
+    kind = frame.get("kind")
+    if kind not in REQUEST_KINDS:
+        raise ProtocolError(
+            f"unknown request kind {kind!r} (expected one of {REQUEST_KINDS})"
+        )
+    request_id = frame.get("id")
+    if request_id is not None and not isinstance(request_id, (str, int)):
+        raise ProtocolError("request id must be a string or integer")
+    request = {"v": PROTOCOL_VERSION, "id": request_id, "kind": kind}
+    if kind == "compile":
+        source = frame.get("source")
+        if not isinstance(source, str):
+            raise ProtocolError("compile request needs a string 'source'")
+        stage = frame.get("stage", "diagnostics")
+        if not isinstance(stage, str):
+            raise ProtocolError("compile 'stage' must be a string")
+        options = frame.get("options", {})
+        if not isinstance(options, dict):
+            raise ProtocolError("compile 'options' must be an object")
+        request.update(source=source, stage=stage, options=options)
+    return request
+
+
+def ok_response(
+    request_id: Any, result: Mapping[str, Any], elapsed_ms: float
+) -> dict:
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": True,
+        "result": dict(result),
+        "elapsed_ms": round(elapsed_ms, 3),
+    }
+
+
+def error_response(
+    request_id: Any,
+    exc: BaseException,
+    elapsed_ms: Optional[float] = None,
+) -> dict:
+    frame = {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": error_frame(exc),
+    }
+    if elapsed_ms is not None:
+        frame["elapsed_ms"] = round(elapsed_ms, 3)
+    return frame

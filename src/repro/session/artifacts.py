@@ -14,6 +14,15 @@ input value — provenance identifies content, the way a build system's
 action cache keys outputs by the recipe rather than by the bytes it
 produced.
 
+Keys are **versioned**: every digest folds in the package version and
+(for stages) the stage's declared option schema.  An in-process LRU
+never needed that — it dies with the process — but the persistent store
+of :mod:`repro.serve.store` keeps artifacts across releases, and a new
+release may change what any stage computes or which options
+parameterise it.  Folding ``repro.__version__`` and the option-name
+tuple into the key means stale on-disk artifacts are simply never
+addressed again: they self-invalidate without any migration logic.
+
 The store itself is a bounded LRU map plus hit/miss accounting.  It is
 safe to share between threads: lookups and insertions take an internal
 lock, while stage *computation* happens outside it (two threads racing
@@ -27,9 +36,20 @@ import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional
+from typing import Any, Mapping, Optional, Sequence
 
-__all__ = ["ArtifactCache", "CacheStats", "derive_key", "source_key"]
+from repro._version import __version__
+
+__all__ = ["ArtifactCache", "CacheStats", "derive_key", "key_salt", "source_key"]
+
+#: folded into every key; changing the release invalidates every
+#: persisted artifact (tests monkeypatch the module-level salt)
+_KEY_SALT = f"repro-{__version__}"
+
+
+def key_salt() -> str:
+    """The version salt every artifact key is derived under."""
+    return _KEY_SALT
 
 
 def _canonical(options: Mapping[str, Any]) -> str:
@@ -45,15 +65,34 @@ def _canonical(options: Mapping[str, Any]) -> str:
 def source_key(text: str) -> str:
     """Artifact key of a source text: the root of every derivation."""
     digest = hashlib.sha256()
-    digest.update(b"source\x00")
+    digest.update(_KEY_SALT.encode("utf-8"))
+    digest.update(b"\x00source\x00")
     digest.update(text.encode("utf-8"))
     return digest.hexdigest()
 
 
-def derive_key(stage: str, parent_key: str, options: Mapping[str, Any]) -> str:
-    """Artifact key of ``stage`` applied to the ``parent_key`` artifact."""
+def derive_key(
+    stage: str,
+    parent_key: str,
+    options: Mapping[str, Any],
+    schema: Optional[Sequence[str]] = None,
+) -> str:
+    """Artifact key of ``stage`` applied to the ``parent_key`` artifact.
+
+    ``schema`` is the stage's declared option-name tuple (defaults to
+    the names of ``options``): it is hashed *separately* from the
+    option values, so adding an option to a stage — even one whose
+    default reproduces the old behaviour — re-keys every artifact the
+    stage ever produced.
+    """
+    if schema is None:
+        schema = tuple(sorted(options))
     digest = hashlib.sha256()
+    digest.update(_KEY_SALT.encode("utf-8"))
+    digest.update(b"\x00")
     digest.update(stage.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(",".join(sorted(schema)).encode("utf-8"))
     digest.update(b"\x00")
     digest.update(parent_key.encode("ascii"))
     digest.update(b"\x00")
@@ -135,6 +174,23 @@ class ArtifactCache:
                 self._entries.move_to_end(key)
                 self.stats.record(stage, hit=True)
             return value
+
+    def peek(self, key: str) -> Any:
+        """Like :meth:`get` (refreshes LRU order) but records no stats.
+
+        Layered stores use this to probe the memory tier before falling
+        back to slower tiers, accounting the *combined* outcome once.
+        """
+        with self._lock:
+            value = self._entries.get(key, self._MISSING)
+            if value is not self._MISSING:
+                self._entries.move_to_end(key)
+            return value
+
+    def record(self, stage: str, hit: bool) -> None:
+        """Account one lookup against ``stage`` (for layered stores)."""
+        with self._lock:
+            self.stats.record(stage, hit=hit)
 
     def put(self, key: str, value: Any) -> None:
         with self._lock:

@@ -54,6 +54,24 @@ __all__ = ["Session"]
 
 _DEFAULT_PASSES = ("constprop", "pdce", "licm")
 
+#: per-journey option defaults, the same values the journey methods
+#: default to — :meth:`Session.artifact_key` fills a request with these
+#: before applying the caller's overrides
+_CHAIN_DEFAULTS: dict[str, dict] = {
+    "ast": {},
+    "ir": {},
+    "cssame": {"prune": True, "prune_events": True},
+    "diagnostics": {},
+    "optimized": {
+        "passes": _DEFAULT_PASSES,
+        "use_mutex": True,
+        "fold_output_uses": True,
+        "simplify": True,
+    },
+    "dot": {"title": "PFG", "prune": True, "prune_events": True},
+    "bytecode": {},
+}
+
 
 def _tracing(trace: Optional[Tracer]):
     if trace is None:
@@ -68,6 +86,12 @@ class Session:
     ----------
     max_entries:
         Artifact-cache bound (LRU eviction); ``None`` = unbounded.
+    cache:
+        An explicit artifact store to use instead of a fresh in-memory
+        :class:`ArtifactCache` — anything with the same ``get`` /
+        ``put`` / ``MISSING`` / ``stats`` surface.  This is how
+        ``repro.serve`` layers its persistent on-disk store under the
+        session (``max_entries`` is ignored when ``cache`` is given).
     fresh_when_traced:
         When ``True``, any request made while tracing is enabled
         recomputes every stage it touches (and refreshes the cache with
@@ -80,8 +104,9 @@ class Session:
         self,
         max_entries: Optional[int] = None,
         fresh_when_traced: bool = False,
+        cache: Optional[ArtifactCache] = None,
     ) -> None:
-        self.cache = ArtifactCache(max_entries=max_entries)
+        self.cache = cache if cache is not None else ArtifactCache(max_entries=max_entries)
         self.fresh_when_traced = fresh_when_traced
 
     # -- the generic stage walk ---------------------------------------------
@@ -100,7 +125,24 @@ class Session:
             if spec.parent_options:
                 parent_request.update(spec.parent_options)
             parent_key = self._key_for(spec.parent, source, parent_request)
-        return derive_key(stage, parent_key, self._options_for(stage, request))
+        return derive_key(
+            stage,
+            parent_key,
+            self._options_for(stage, request),
+            schema=spec.option_names,
+        )
+
+    def artifact_key(self, stage: str, source: str, **options: Any) -> str:
+        """The public artifact key of ``stage`` for ``source``.
+
+        ``options`` must name every option of the stage *chain* that
+        differs from the journey defaults (the same names the journey
+        methods accept).  Used by the serve layer for provenance and by
+        store tooling; computing a key never computes the artifact.
+        """
+        request = dict(_CHAIN_DEFAULTS.get(stage, {}))
+        request.update(options)
+        return self._key_for(stage, source, request)
 
     def _artifact(self, stage: str, source: str, request: Mapping[str, Any]) -> Any:
         """The ``stage`` artifact for ``source``, computing on miss.

@@ -1,0 +1,186 @@
+"""Client retry policy: backoff shape, transient retries, give-up rules.
+
+A tiny scripted TCP server plays the failure tape deterministically:
+each accepted connection consumes the next script entry, which is
+either ``"close"`` (read the request, then slam the connection) or a
+response frame to send.  The client under test gets an injected RNG
+and a sleep collector, so the whole suite runs instantly and asserts
+exact backoff arithmetic.
+"""
+
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.errors import E_OVERLOADED, E_PARSE, RemoteError
+from repro.serve.client import RetryPolicy, ServeClient
+from repro.serve.protocol import encode_frame
+
+
+class ScriptedServer:
+    """One scripted action per *request* received.
+
+    Connections are persistent (like the real server's); a ``"close"``
+    entry resets the connection after reading the request, forcing the
+    client down its reconnect path.
+    """
+
+    def __init__(self, script):
+        self._actions = iter(list(script))
+        self.connections = 0
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            reader = conn.makefile("rb")
+            while True:
+                if not reader.readline():  # client went away
+                    break
+                action = next(self._actions, None)
+                if action is None or action == "close":
+                    break  # reset this connection
+                conn.sendall(encode_frame(action))
+            conn.close()
+
+    def close(self):
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def _ok(payload=None):
+    return {"v": 1, "id": "c1", "ok": True, "result": payload or {"pong": True}}
+
+
+def _err(code, message="nope"):
+    return {
+        "v": 1,
+        "id": "c1",
+        "ok": False,
+        "error": {"code": code, "type": "X", "message": message},
+    }
+
+
+@pytest.fixture
+def scripted():
+    servers = []
+
+    def make(script):
+        server = ScriptedServer(script)
+        servers.append(server)
+        return server
+
+    yield make
+    for server in servers:
+        server.close()
+
+
+def _client(port, script_sleeps, attempts=4):
+    return ServeClient(
+        "127.0.0.1",
+        port,
+        timeout=5.0,
+        retry=RetryPolicy(attempts=attempts, base_delay=0.05, jitter=0.5),
+        rng=random.Random(42),
+        sleep=script_sleeps.append,
+    )
+
+
+class TestRetryPolicy:
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        rng = random.Random(0)
+        delays = [policy.delay(n, rng) for n in (1, 2, 3, 4, 5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5)
+        rng = random.Random(7)
+        for _ in range(100):
+            delay = policy.delay(1, rng)
+            assert 0.1 <= delay <= 0.15000001
+
+    def test_deterministic_with_seeded_rng(self):
+        policy = RetryPolicy()
+        a = [policy.delay(n, random.Random(3)) for n in (1, 2, 3)]
+        b = [policy.delay(n, random.Random(3)) for n in (1, 2, 3)]
+        assert a == b
+
+
+class TestTransientRetries:
+    def test_overloaded_then_ok(self, scripted):
+        server = scripted([_err(E_OVERLOADED), _ok()])
+        sleeps = []
+        with _client(server.port, sleeps) as client:
+            response = client.call({"v": 1, "id": "c1", "kind": "ping"})
+        assert response["ok"] is True
+        assert len(sleeps) == 1  # exactly one backoff
+        assert sleeps[0] >= 0.05
+
+    def test_connection_reset_then_ok(self, scripted):
+        server = scripted(["close", _ok()])
+        sleeps = []
+        with _client(server.port, sleeps) as client:
+            response = client.call({"v": 1, "id": "c1", "kind": "ping"})
+        assert response["ok"] is True
+        assert server.connections == 2
+        assert len(sleeps) == 1
+
+    def test_connection_refused_then_ok(self, scripted):
+        # Nothing listens on a fresh ephemeral port; grab one, close it.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        sleeps = []
+        client = _client(dead_port, sleeps, attempts=2)
+        with pytest.raises(OSError):
+            client.call({"v": 1, "id": "c1", "kind": "ping"})
+        assert len(sleeps) == 1
+
+
+class TestGiveUp:
+    def test_exhausted_retries_return_last_frame(self, scripted):
+        server = scripted([_err(E_OVERLOADED)] * 3)
+        sleeps = []
+        with _client(server.port, sleeps, attempts=3) as client:
+            response = client.call({"v": 1, "id": "c1", "kind": "ping"})
+        assert response["ok"] is False
+        assert response["error"]["code"] == E_OVERLOADED
+        assert len(sleeps) == 2  # attempts-1 backoffs
+        # Backoff grew between attempts (jitter can't mask a doubling).
+        assert sleeps[1] > sleeps[0]
+
+    def test_compile_raises_typed_remote_error(self, scripted):
+        server = scripted([_err(E_OVERLOADED)] * 2)
+        sleeps = []
+        with _client(server.port, sleeps, attempts=2) as client:
+            with pytest.raises(RemoteError) as info:
+                client.compile("a = 1;")
+        assert info.value.code == E_OVERLOADED
+
+    def test_definite_errors_never_retry(self, scripted):
+        server = scripted([_err(E_PARSE, "1:1: bad"), _ok()])
+        sleeps = []
+        with _client(server.port, sleeps) as client:
+            response = client.call({"v": 1, "id": "c1", "kind": "ping"})
+        assert response["ok"] is False
+        assert response["error"]["code"] == E_PARSE
+        assert sleeps == []  # no backoff, no second connection
+        assert server.connections == 1

@@ -1,0 +1,117 @@
+"""Wire-protocol framing: encode/decode, validation, response shapes."""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    E_PARSE,
+    E_PROTOCOL,
+    DeadlineExceeded,
+    ParseError,
+    ProtocolError,
+    SourceLocation,
+)
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+    validate_request,
+)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = {"v": 1, "id": "r1", "kind": "ping"}
+        line = encode_frame(frame)
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+        assert decode_frame(line) == frame
+
+    def test_encode_is_deterministic(self):
+        a = encode_frame({"b": 1, "a": 2})
+        b = encode_frame({"a": 2, "b": 1})
+        assert a == b
+
+    def test_not_json_raises_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"definitely not json\n")
+
+    def test_non_object_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"[1, 2, 3]\n")
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+    def test_invalid_utf8_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b'\xff\xfe{"a":1}\n')
+
+
+class TestValidateRequest:
+    def test_compile_defaults(self):
+        request = validate_request(
+            {"v": 1, "id": 7, "kind": "compile", "source": "a = 1;"}
+        )
+        assert request["stage"] == "diagnostics"
+        assert request["options"] == {}
+        assert request["id"] == 7
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"v": 99, "kind": "ping"})
+
+    def test_missing_version_defaults(self):
+        request = validate_request({"kind": "ping"})
+        assert request["v"] == PROTOCOL_VERSION
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"v": 1, "kind": "transmogrify"})
+
+    def test_bad_id_rejected(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"v": 1, "id": ["list"], "kind": "ping"})
+
+    def test_compile_needs_string_source(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"v": 1, "kind": "compile", "source": 42})
+
+    def test_compile_options_must_be_object(self):
+        with pytest.raises(ProtocolError):
+            validate_request(
+                {"v": 1, "kind": "compile", "source": "", "options": [1]}
+            )
+
+
+class TestResponses:
+    def test_ok_response_shape(self):
+        frame = ok_response("r1", {"x": 1}, 3.14159)
+        assert frame["ok"] is True
+        assert frame["result"] == {"x": 1}
+        assert frame["elapsed_ms"] == 3.142
+        json.dumps(frame)  # must be JSON-serializable
+
+    def test_error_response_carries_taxonomy_code(self):
+        exc = ParseError("unexpected token", SourceLocation(3, 7))
+        frame = error_response("r2", exc)
+        assert frame["ok"] is False
+        assert frame["error"]["code"] == E_PARSE
+        assert frame["error"]["type"] == "ParseError"
+        assert frame["error"]["line"] == 3
+        assert frame["error"]["column"] == 7
+        json.dumps(frame)
+
+    def test_error_response_for_service_errors(self):
+        frame = error_response(None, DeadlineExceeded("optimized", 50.0))
+        assert frame["error"]["code"] == "E_TIMEOUT"
+        assert "50" in frame["error"]["message"]
+
+    def test_protocol_error_frame(self):
+        frame = error_response(None, ProtocolError("bad frame"))
+        assert frame["error"]["code"] == E_PROTOCOL

@@ -1,0 +1,76 @@
+"""Cache-key derivation folds in the package version and option schema.
+
+The bug this guards against: artifacts persisted by release N being
+served verbatim by release N+1 (whose passes may produce different
+output), or a stage growing a new option whose default silently aliases
+old cache entries.  Both are fixed by salting every key with
+``repro.__version__`` and hashing the stage's option *schema*
+separately from the option values.
+"""
+
+import pytest
+
+from repro import __version__
+from repro.session import Session, artifacts
+from repro.session.artifacts import derive_key, key_salt, source_key
+from tests.conftest import FIGURE1_SOURCE
+
+
+class TestSalt:
+    def test_salt_carries_the_version(self):
+        assert __version__ in key_salt()
+
+    def test_source_key_changes_with_version(self, monkeypatch):
+        before = source_key(FIGURE1_SOURCE)
+        monkeypatch.setattr(artifacts, "_KEY_SALT", "repro-0.0.0-test")
+        after = source_key(FIGURE1_SOURCE)
+        assert before != after
+
+    def test_derive_key_changes_with_version(self, monkeypatch):
+        parent = source_key(FIGURE1_SOURCE)
+        before = derive_key("ast", parent, {})
+        monkeypatch.setattr(artifacts, "_KEY_SALT", "repro-0.0.0-test")
+        after = derive_key("ast", parent, {})
+        assert before != after
+
+
+class TestSchema:
+    def test_new_option_in_schema_rekeys_even_at_default(self):
+        """Adding an option re-keys the stage even when values agree."""
+        parent = "p" * 64
+        old = derive_key("opt", parent, {"prune": True}, schema=("prune",))
+        new = derive_key(
+            "opt", parent, {"prune": True}, schema=("prune", "simplify")
+        )
+        assert old != new
+
+    def test_schema_order_does_not_matter(self):
+        parent = "p" * 64
+        a = derive_key("opt", parent, {}, schema=("b", "a"))
+        b = derive_key("opt", parent, {}, schema=("a", "b"))
+        assert a == b
+
+    def test_option_values_still_differentiate(self):
+        parent = "p" * 64
+        schema = ("prune",)
+        assert derive_key(
+            "opt", parent, {"prune": True}, schema=schema
+        ) != derive_key("opt", parent, {"prune": False}, schema=schema)
+
+
+class TestSessionKeys:
+    def test_artifact_key_is_stable_across_sessions(self):
+        a = Session().artifact_key("diagnostics", FIGURE1_SOURCE)
+        b = Session().artifact_key("diagnostics", FIGURE1_SOURCE)
+        assert a == b and len(a) == 64
+
+    def test_artifact_key_differs_by_stage_and_options(self):
+        sess = Session()
+        diag = sess.artifact_key("diagnostics", FIGURE1_SOURCE)
+        dot = sess.artifact_key("dot", FIGURE1_SOURCE)
+        pruned = sess.artifact_key("dot", FIGURE1_SOURCE, prune=False)
+        assert len({diag, dot, pruned}) == 3
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(KeyError):
+            Session().artifact_key("transmogrify", FIGURE1_SOURCE)
